@@ -1,0 +1,69 @@
+"""Ablation — change-point fusion weight (DESIGN.md extension).
+
+The §VI.C detector is fused with a stop-end density: weight 0 is the
+paper-literal sliding-window minimum, large weights trust stop events
+alone.  This bench sweeps the weight and also ablates the red
+refinement that the fused red→green instant enables.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro._util import circular_diff
+from repro.core import PipelineConfig, identify_many
+
+TIMES = (12600.0, 14400.0, 16200.0, 18000.0)
+WEIGHTS = (0.0, 0.25, 0.5, 1.0, 2.0)
+
+
+def change_errors(shenzhen, partitions, cfg):
+    errs = []
+    for at in TIMES:
+        ests, _ = identify_many(partitions, at, config=cfg)
+        for key, est in ests.items():
+            gt = shenzhen.truth_at(key[0], key[1], at)
+            if abs(est.cycle_s - gt.cycle_s) > 5.0:
+                continue  # change time only meaningful on a locked cycle
+            errs.append(abs(float(circular_diff(
+                est.schedule.offset_s + est.schedule.red_s,
+                gt.offset_s + gt.red_s, gt.cycle_s,
+            ))))
+    return np.array(errs)
+
+
+def test_ablation_fusion_weight(benchmark, shenzhen, shenzhen_data):
+    _, partitions = shenzhen_data
+
+    banner("Ablation — change-point fusion weight (0 = paper literal)")
+    rates = {}
+    for w in WEIGHTS:
+        errs = change_errors(shenzhen, partitions, PipelineConfig(fusion_weight=w))
+        rates[w] = float((errs <= 6.0).mean()) if errs.size else 0.0
+        print(f"  weight {w:<5} n={errs.size:3d}  within 6 s: "
+              f"{100 * rates[w]:.0f}%  median {np.median(errs):.2f} s")
+
+    print("\n  fusing stop ends must beat the pure sliding-window minimum")
+    assert max(rates[0.25], rates[0.5], rates[1.0]) >= rates[0.0]
+
+    # red-refinement ablation rides on the same sweep
+    banner("Ablation — red refinement from the fused change point")
+    for refine in (False, True):
+        cfg = PipelineConfig(refine_red=refine)
+        errs = []
+        for at in TIMES:
+            ests, _ = identify_many(partitions, at, config=cfg)
+            for key, est in ests.items():
+                gt = shenzhen.truth_at(key[0], key[1], at)
+                if abs(est.cycle_s - gt.cycle_s) > 5.0:
+                    continue
+                errs.append(abs(est.red_s - gt.red_s))
+        errs = np.array(errs)
+        print(f"  refine_red={str(refine):<5} n={errs.size:3d} "
+              f"median |red err| {np.median(errs):.2f} s "
+              f"within 6 s: {100 * (errs <= 6.0).mean():.0f}%")
+
+    benchmark.pedantic(
+        identify_many, args=(partitions, TIMES[0]),
+        kwargs=dict(config=PipelineConfig()), rounds=1, iterations=1,
+    )

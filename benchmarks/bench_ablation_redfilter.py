@@ -1,0 +1,61 @@
+"""Ablation — error-filtering stages of the red-duration estimator
+(DESIGN.md #5): none / cycle-cap only / + passenger filter / + border
+interval.  Shows why the paper needs each of §VI.A's defences against
+curbside-stop contamination.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.core.redlight import estimate_red_duration
+from repro.core.stops import extract_stops
+from repro.core.pipeline import measured_mean_interval
+
+
+def naive_longest(durations, cycle):
+    """No filtering at all: take the longest observed stop."""
+    return float(durations.max()) if durations.size else np.nan
+
+
+def capped_longest(durations, cycle):
+    """Cycle-cap only (paper's stage 1)."""
+    d = durations[durations <= cycle]
+    return float(d.max()) if d.size else np.nan
+
+
+def test_ablation_red_filters(benchmark, small_city, small_city_data):
+    _, partitions = small_city_data
+
+    banner("Ablation — red-duration filtering stages")
+    print(f"  {'stage':<34} {'median |err|':>12}")
+    rows = {"naive longest stop": [], "cycle-cap only": [],
+            "+passenger filter": [], "+border interval (full)": []}
+    for key in sorted(partitions):
+        iid, app = key
+        gt = small_city.truth_at(iid, app, 3600.0)
+        stops = extract_stops(partitions[key])
+        iv = measured_mean_interval(partitions[key])
+        d_all = stops.duration_s
+        d_pass = stops.subset(~stops.passenger_changed).duration_s
+
+        rows["naive longest stop"].append(abs(naive_longest(d_all, gt.cycle_s) - gt.red_s))
+        rows["cycle-cap only"].append(abs(capped_longest(d_all, gt.cycle_s) - gt.red_s))
+        rows["+passenger filter"].append(abs(capped_longest(d_pass, gt.cycle_s) - gt.red_s))
+        est = estimate_red_duration(d_pass, gt.cycle_s, mean_interval_s=iv)
+        rows["+border interval (full)"].append(abs(est.red_s - gt.red_s))
+
+    meds = {}
+    for name, errs in rows.items():
+        meds[name] = float(np.nanmedian(errs))
+        print(f"  {name:<34} {meds[name]:>10.1f} s")
+
+    print("\n  each stage must tighten the estimate (paper's Fig. 9 argument)")
+    assert meds["+border interval (full)"] <= meds["cycle-cap only"]
+    assert meds["+border interval (full)"] <= meds["naive longest stop"]
+
+    key = max(partitions, key=lambda k: len(partitions[k]))
+    stops = extract_stops(partitions[key])
+    d = stops.subset(~stops.passenger_changed).duration_s
+    benchmark(estimate_red_duration, d, 98.0,
+              mean_interval_s=measured_mean_interval(partitions[key]))

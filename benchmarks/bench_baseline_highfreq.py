@@ -1,0 +1,116 @@
+"""Baseline bench — event-based (high-frequency) identification vs the
+paper's periodicity method, across probe sampling rates.
+
+The paper's core motivating claim: CityDrive/iTrip-class systems need
+1–2 Hz probes because they key on per-vehicle kinematic events, so they
+"can not be directly employed" on 15–60 s taxi reports.  Both methods
+run here on the *same* simulated ground truth, with the reporting
+interval swept from 2 s (smartphone-grade) to the taxi fleet mixture —
+quantifying where the baseline collapses and the taxi method keeps
+working.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro._util import circular_diff
+from repro.core import PipelineConfig, identify_light
+from repro.core.highfreq import identify_light_highfreq
+from repro.core.signal_types import InsufficientDataError
+from repro.lights.intersection import SignalPlan, attach_signals_to_network
+from repro.matching import match_trace, partition_by_light
+from repro.network import grid_network
+from repro.sim import ApproachConfig, CitySimulation
+from repro.trace import GPSErrorModel, ReportingPolicy, TraceGenerator
+
+CYCLE, NS_RED = 98.0, 39.0
+TIMES = (5400.0, 7200.0, 9000.0, 10800.0)
+
+#: Swept reporting regimes: fixed intervals plus the real fleet mixture.
+REGIMES = (
+    ("2 s (smartphone)", ((2.0, 1.0),)),
+    ("5 s", ((5.0, 1.0),)),
+    ("15 s", ((15.0, 1.0),)),
+    ("30 s", ((30.0, 1.0),)),
+    ("taxi fleet mix", None),  # DEFAULT_INTERVAL_MIXTURE
+)
+
+
+@pytest.fixture(scope="module")
+def ground_truth_sim():
+    net = grid_network(2, 2, 500.0)
+    plans = {i: [SignalPlan(CYCLE, NS_RED, offset_s=19.0 * i)] for i in range(4)}
+    signals = attach_signals_to_network(net, plans)
+    rates = {s.id: 300.0 for s in net.segments}
+    sim = CitySimulation(net, signals, rates, ApproachConfig(segment_length_m=400.0))
+    res = sim.run(0.0, 3 * 3600.0, seed=23)
+    return net, signals, plans, res
+
+
+def _score(net, plans, partitions, method):
+    hits = attempts = 0
+    for key, p in sorted(partitions.items()):
+        iid, app = key
+        plan = plans[iid][0]
+        gt = plan.ns_schedule() if app == "NS" else plan.ew_schedule()
+        perp = partitions.get((iid, "EW" if app == "NS" else "NS"))
+        for at in TIMES:
+            attempts += 1
+            try:
+                if method == "events":
+                    sched = identify_light_highfreq(p, at)
+                else:
+                    sched = identify_light(
+                        p, at, perpendicular=perp, config=PipelineConfig()
+                    ).schedule
+            except InsufficientDataError:
+                continue
+            cyc_ok = abs(sched.cycle_s - gt.cycle_s) <= 3.0
+            chg = abs(float(circular_diff(
+                sched.offset_s + sched.red_s, gt.offset_s + gt.red_s, gt.cycle_s
+            )))
+            if cyc_ok and chg <= 10.0:
+                hits += 1
+    return hits, attempts
+
+
+def test_baseline_vs_periodicity(benchmark, ground_truth_sim):
+    net, signals, plans, res = ground_truth_sim
+
+    banner("Baseline — event-based (high-freq) vs the paper's periodicity method")
+    print(f"  {'reporting regime':<20} {'event-based':>12} {'periodicity':>12}")
+    outcomes = {}
+    for name, mixture in REGIMES:
+        policy = (
+            ReportingPolicy() if mixture is None
+            else ReportingPolicy(interval_mixture=mixture)
+        )
+        gen = TraceGenerator(net, policy=policy, gps=GPSErrorModel())
+        trace = gen.generate(res, rng=np.random.default_rng(5))
+        partitions = partition_by_light(match_trace(trace, net), net)
+        ev_hits, n = _score(net, plans, partitions, "events")
+        pd_hits, _ = _score(net, plans, partitions, "periodicity")
+        outcomes[name] = (ev_hits / n, pd_hits / n)
+        print(f"  {name:<20} {ev_hits:>6}/{n:<5} {pd_hits:>6}/{n:<5}")
+
+    ev_fast, pd_fast = outcomes["2 s (smartphone)"]
+    ev_taxi, pd_taxi = outcomes["taxi fleet mix"]
+    print("\n  paper's claim: event-based methods need high-frequency probes;")
+    print("  the taxi periodicity method must survive the fleet's low rates.")
+    print(f"  event-based: {100 * ev_fast:.0f}% at 2 s -> {100 * ev_taxi:.0f}% on taxi mix")
+    print(f"  periodicity: {100 * pd_fast:.0f}% at 2 s -> {100 * pd_taxi:.0f}% on taxi mix")
+    assert ev_fast >= 0.6, "the baseline must actually work on high-freq data"
+    assert ev_taxi <= 0.5 * ev_fast, "and collapse at taxi rates"
+    assert pd_taxi >= ev_taxi + 0.2, "the paper's method must win on taxi data"
+
+    # time one baseline identification at high frequency
+    policy = ReportingPolicy(interval_mixture=((2.0, 1.0),))
+    gen = TraceGenerator(net, policy=policy)
+    trace = gen.generate(res, rng=np.random.default_rng(5))
+    partitions = partition_by_light(match_trace(trace, net), net)
+    key = max(partitions, key=lambda k: len(partitions[k]))
+    benchmark.pedantic(
+        identify_light_highfreq, args=(partitions[key], TIMES[-1]),
+        rounds=1, iterations=1,
+    )

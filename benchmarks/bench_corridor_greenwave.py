@@ -1,0 +1,70 @@
+"""Extension bench — corridor green-wave recovery from journey traces.
+
+Vehicles traverse a coordinated 5-light arterial; their multi-segment
+taxi reports are the input.  The bench verifies the whole chain:
+journey traces → per-light identification → corridor coordination
+analysis (relative offsets + progression bandwidth) close to truth.
+
+It also surfaces an honest limit: perfectly coordinated lights stop
+almost nobody, so stop-based phase evidence thins exactly where
+coordination is best.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro._util import circular_diff
+from repro.core import identify_many
+from repro.core.coordination import corridor_report, progression_bandwidth
+from repro.matching import match_trace, partition_by_light
+from repro.sim import CorridorSpec, simulate_corridor
+from repro.trace import TraceGenerator
+
+
+def test_corridor_green_wave(benchmark):
+    spec = CorridorSpec(
+        n_lights=5, segment_length_m=500.0, entry_rate_per_hour=450.0,
+        cycle_s=100.0, red_s=45.0,
+    )
+    res = simulate_corridor(spec, 0.0, 5400.0, seed=9)
+    gen = TraceGenerator(res.net)
+    trace = gen.generate_journeys(res.journeys, rng=np.random.default_rng(2))
+    parts = partition_by_light(match_trace(trace, res.net), res.net)
+
+    ests, fails = benchmark.pedantic(
+        identify_many, args=(parts, 5400.0), rounds=1, iterations=1
+    )
+
+    banner("Extension — green-wave recovery on a coordinated arterial")
+    tt = spec.segment_length_m / spec.params.free_speed_mps
+    truth = [res.signals[i].schedule_at("EW", 5400.0) for i in range(spec.n_lights)]
+    believed = [ests[(i, "EW")].schedule if (i, "EW") in ests else None
+                for i in range(spec.n_lights)]
+    locked = sum(
+        1 for b, t in zip(believed, truth)
+        if b is not None and abs(b.cycle_s - t.cycle_s) <= 3.0
+    )
+    print(f"  lights identified: {len(ests)}/{spec.n_lights}, "
+          f"cycle locked: {locked}/{spec.n_lights}")
+    assert locked >= spec.n_lights - 1
+
+    print(f"\n  {'link':<8} {'truth bw':>9} {'identified bw':>14}")
+    truth_rep = corridor_report(truth, [tt] * (spec.n_lights - 1))
+    est_bws, truth_bws = [], []
+    for link in truth_rep:
+        i, j = link.upstream_index, link.downstream_index
+        if believed[i] is None or believed[j] is None:
+            continue
+        bw = progression_bandwidth(believed[i], believed[j], link.travel_time_s)
+        est_bws.append(bw)
+        truth_bws.append(link.bandwidth)
+        print(f"  {i}->{j:<5} {100 * link.bandwidth:>8.0f}% {100 * bw:>13.0f}%")
+
+    print("\n  a designed green wave must be *detected* as strong progression")
+    print("  (caveat: coordination suppresses stops, thinning phase evidence)")
+    assert np.mean(truth_bws) >= 0.95, "the scenario really is a green wave"
+    assert np.mean(est_bws) >= 0.6, "identified schedules must reveal it"
+    # uncoordinated lights would average ~green fraction (= 55%) only
+    # when offsets are random; a detected wave must clearly exceed that
+    assert np.mean(est_bws) > 0.55

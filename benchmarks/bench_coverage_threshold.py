@@ -1,0 +1,76 @@
+"""Extension bench — how much taxi coverage does identification need?
+
+The paper's Table II spans 198–5071 records/hour and its Fig. 14 CDF
+mixes all of them.  This bench isolates the coverage axis: one light,
+identical schedule, swept arrival rates — reporting the cycle hit rate
+per coverage level and the approximate records/hour threshold where
+identification becomes reliable.  This is the number a practitioner
+needs before deploying the system on their own fleet.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.core import PipelineConfig, identify_light
+from repro.core.signal_types import InsufficientDataError
+from repro.lights.intersection import SignalPlan, attach_signals_to_network
+from repro.matching import match_trace, partition_by_light
+from repro.network import grid_network
+from repro.sim import ApproachConfig, CitySimulation
+from repro.trace import TraceGenerator
+
+CYCLE, NS_RED = 98.0, 39.0
+RATES = (30.0, 60.0, 120.0, 240.0, 480.0)
+TIMES = tuple(np.arange(7200.0, 14400.0 + 1, 1800.0))
+
+
+def run_rate(rate: float, seed: int):
+    net = grid_network(2, 2, 500.0)
+    plans = {i: [SignalPlan(CYCLE, NS_RED, offset_s=17.0 * i)] for i in range(4)}
+    signals = attach_signals_to_network(net, plans)
+    rates = {s.id: rate for s in net.segments}
+    sim = CitySimulation(net, signals, rates, ApproachConfig(segment_length_m=400.0))
+    res = sim.run(0.0, 4 * 3600.0, seed=seed)
+    trace = TraceGenerator(net).generate(res, rng=np.random.default_rng(seed + 1))
+    parts = partition_by_light(match_trace(trace, net), net)
+
+    hits = attempts = 0
+    rec_rates = []
+    for key, p in parts.items():
+        rec_rates.append(p.records_per_hour())
+        iid, app = key
+        perp = parts.get((iid, "EW" if app == "NS" else "NS"))
+        for at in TIMES:
+            attempts += 1
+            try:
+                est = identify_light(p, at, perpendicular=perp,
+                                     config=PipelineConfig())
+            except InsufficientDataError:
+                continue
+            if abs(est.cycle_s - CYCLE) <= 3.0:
+                hits += 1
+    return hits / max(attempts, 1), float(np.mean(rec_rates))
+
+
+def test_coverage_threshold(benchmark):
+    banner("Extension — identification reliability vs taxi coverage")
+    print(f"  {'veh/h/approach':>15} {'records/h/light':>16} {'cycle hit rate':>15}")
+    curve = []
+    for rate in RATES:
+        hit_rate, rec_rate = run_rate(rate, seed=13)
+        curve.append((rec_rate, hit_rate))
+        print(f"  {rate:>15.0f} {rec_rate:>16.0f} {100 * hit_rate:>14.0f}%")
+
+    rec = np.array([c[0] for c in curve])
+    hit = np.array([c[1] for c in curve])
+    print("\n  reliability must rise with coverage (the Table II story)")
+    assert hit[-1] > hit[0], "dense coverage must beat sparse"
+    assert hit[-1] >= 0.8, "dense lights must be reliably identifiable"
+
+    crossings = np.nonzero(hit >= 0.8)[0]
+    if crossings.size:
+        print(f"  ~80% reliability reached near {rec[crossings[0]]:.0f} "
+              f"records/hour per light")
+
+    benchmark.pedantic(run_rate, args=(RATES[0], 13), rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+"""Fig. 7 — intersection-based enhancement on sparse minor roads.
+
+The paper's fix for data sparsity: when one direction of a crossroad is
+too sparse to reconstruct the cycle, mirror the perpendicular
+direction's speed about the intersection mean (Eq. 3) and merge — both
+directions share the cycle length, and their flows alternate.
+
+This bench recreates the figure's setting as a controlled experiment:
+one intersection whose North-South approach sees very little taxi
+traffic while East-West is moderately covered.  Cycle identification on
+the sparse direction is scored with the enhancement disabled vs
+enabled, across many windows.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import banner
+from repro.core.cycle import identify_cycle_from_samples
+from repro.core.enhancement import choose_primary, enhance_samples
+from repro.core.pipeline import _window_samples
+from repro.core.signal_types import InsufficientDataError
+from repro.lights.intersection import SignalPlan, attach_signals_to_network
+from repro.matching import match_trace, partition_by_light
+from repro.network import grid_network
+from repro.sim import ApproachConfig, CitySimulation
+from repro.trace import TraceGenerator
+
+CYCLE = 98.0
+NS_RATE = 60.0     # vehicles/hour — a minor road taxis seldom cover
+EW_RATE = 420.0    # the perpendicular arterial
+
+
+@pytest.fixture(scope="module")
+def sparse_intersection():
+    net = grid_network(2, 2, 500.0)
+    plans = {i: [SignalPlan(CYCLE, 39.0, offset_s=11.0 * i)] for i in range(4)}
+    signals = attach_signals_to_network(net, plans)
+    rates = {}
+    for seg in net.segments:
+        rates[seg.id] = NS_RATE if seg.approach == "NS" else EW_RATE
+    sim = CitySimulation(net, signals, rates, ApproachConfig(segment_length_m=400.0))
+    res = sim.run(0.0, 4 * 3600.0, seed=31)
+    trace = TraceGenerator(net).generate(res, rng=np.random.default_rng(6))
+    return partition_by_light(match_trace(trace, net), net)
+
+
+def _attempt(partition, perpendicular, at, enhance, window=1800.0):
+    t, v = _window_samples(partition, at - window, at, 150.0)
+    n_own = t.size
+    if enhance and perpendicular is not None:
+        tp, vp = _window_samples(perpendicular, at - window, at, 150.0)
+        if tp.size:
+            t1, v1, t2, v2 = choose_primary(t, v, tp, vp)
+            t, v = enhance_samples(t1, v1, t2, v2)
+    try:
+        est = identify_cycle_from_samples(t, v, at - window, at, enhanced=enhance)
+        return est.cycle_s, n_own, t.size
+    except InsufficientDataError:
+        return None, n_own, t.size
+
+
+def test_fig07_enhancement(benchmark, sparse_intersection):
+    partitions = sparse_intersection
+    times = np.arange(7200.0, 4 * 3600.0 + 1, 900.0)
+
+    banner("Fig. 7 — intersection-based enhancement (sparse NS direction)")
+    print(f"  setup: NS ~{NS_RATE:.0f} veh/h (sparse), "
+          f"EW ~{EW_RATE:.0f} veh/h, shared cycle {CYCLE:.0f} s")
+
+    stats = {False: [], True: []}
+    for iid in range(4):
+        p = partitions.get((iid, "NS"))
+        q = partitions.get((iid, "EW"))
+        if p is None or q is None:
+            continue
+        for at in times:
+            for enhance in (False, True):
+                cyc, n_own, n_used = _attempt(p, q, at, enhance)
+                err = abs(cyc - CYCLE) if cyc is not None else np.inf
+                stats[enhance].append((err, n_own, n_used))
+
+    for enhance in (False, True):
+        rows = stats[enhance]
+        errs = np.array([r[0] for r in rows])
+        label = "with enhancement" if enhance else "own direction only"
+        print(f"  {label:<22} windows {len(rows)}, "
+              f"within 5 s: {int((errs <= 5.0).sum())}, "
+              f"within 10 s: {int((errs <= 10.0).sum())}, "
+              f"median input samples: {np.median([r[2] for r in rows]):.0f}")
+
+    hits_off = (np.array([r[0] for r in stats[False]]) <= 10.0).sum()
+    hits_on = (np.array([r[0] for r in stats[True]]) <= 10.0).sum()
+    print(f"\n  paper's claim: mirroring the perpendicular direction makes the")
+    print(f"  sparse direction identifiable; measured {hits_off} -> {hits_on} "
+          f"windows within 10 s")
+    assert hits_on > hits_off, "enhancement must add accurate windows"
+
+    p, q = partitions[(0, "NS")], partitions[(0, "EW")]
+    benchmark(_attempt, p, q, times[-1], True)

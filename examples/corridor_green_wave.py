@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Green-wave analysis of an arterial from taxi traces (extension).
+
+The paper's community use case: "transportation researchers can
+investigate the correlation between traffic light scheduling and
+traffic flow".  This example simulates a coordinated one-way arterial
+(taxis traverse all lights, reporting as one continuous trajectory —
+the structure real fleet data has), identifies every light purely from
+those traces, and then recovers the corridor's coordination: relative
+offsets and green-wave progression bandwidth, identified vs truth.
+
+Run:  python examples/corridor_green_wave.py
+"""
+
+import numpy as np
+
+from repro.core import identify_many
+from repro.core.coordination import corridor_report, progression_bandwidth
+from repro.matching import match_trace, partition_by_light
+from repro.sim import CorridorSpec, simulate_corridor
+from repro.trace import TraceGenerator
+
+
+def main() -> None:
+    spec = CorridorSpec(
+        n_lights=5,
+        segment_length_m=500.0,
+        entry_rate_per_hour=450.0,
+        cycle_s=100.0,
+        red_s=45.0,
+    )
+    tt = spec.segment_length_m / spec.params.free_speed_mps
+    print(f"arterial: {spec.n_lights} lights, {spec.segment_length_m:.0f} m links "
+          f"({tt:.0f} s free-flow), cycle {spec.cycle_s:.0f} s, "
+          f"green-wave offsets {['%.0f' % o for o in spec.resolved_offsets()]}")
+
+    print("\nsimulating 1.5 h of corridor traffic ...")
+    res = simulate_corridor(spec, 0.0, 5400.0, seed=9)
+    tts = res.corridor_travel_times()
+    print(f"journeys: {len(res.journeys)} "
+          f"(complete: {len(tts)}, mean travel {tts.mean():.0f} s)")
+
+    gen = TraceGenerator(res.net)
+    trace = gen.generate_journeys(res.journeys, rng=np.random.default_rng(2))
+    print(f"taxi trace: {trace}")
+
+    parts = partition_by_light(match_trace(trace, res.net), res.net)
+    ests, fails = identify_many(parts, 5400.0)
+    print(f"\nidentified {len(ests)}/{spec.n_lights} lights")
+
+    truth = [res.signals[i].schedule_at("EW", 5400.0) for i in range(spec.n_lights)]
+    believed = []
+    from repro._util import circular_diff
+    print(f"  {'light':<7} {'cycle err':>10} {'r2g err':>9}")
+    for i in range(spec.n_lights):
+        est = ests.get((i, "EW"))
+        believed.append(est.schedule if est else None)
+        if est is not None:
+            dc = est.cycle_s - truth[i].cycle_s
+            dr2g = float(circular_diff(
+                est.schedule.offset_s + est.schedule.red_s,
+                truth[i].offset_s + truth[i].red_s, truth[i].cycle_s))
+            note = ""
+            if abs(dr2g) > 10:
+                note = "  <- well-coordinated lights stop few taxis: weak evidence"
+            print(f"  L{i:<6} {dc:>+9.1f}s {dr2g:>+8.1f}s{note}")
+
+    travel_times = [tt] * (spec.n_lights - 1)
+    print("\nlink progression (green-wave bandwidth):")
+    print(f"  {'link':<8} {'truth':>8} {'identified':>11}")
+    truth_rep = corridor_report(truth, travel_times)
+    for link in truth_rep:
+        i, j = link.upstream_index, link.downstream_index
+        if believed[i] is not None and believed[j] is not None:
+            bw_est = progression_bandwidth(believed[i], believed[j], link.travel_time_s)
+            est_txt = f"{100 * bw_est:>10.0f}%"
+        else:
+            est_txt = "        n/a"
+        print(f"  {i}->{j:<5} {100 * link.bandwidth:>7.0f}% {est_txt}")
+
+    print("\nthe identified schedules recover the corridor's coordination —")
+    print("exactly the analysis a traffic authority could run city-wide")
+    print("without touching a single signal controller.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Running the pipeline on an OpenStreetMap extract.
+
+The paper's preprocessing uses OpenStreetMap as the digital map (§IV).
+This example parses a small hand-written OSM XML document (a signalized
+crossroad), simulates taxi traffic on it, and identifies the light —
+demonstrating that the pipeline is map-source-agnostic.
+
+With a real extract, replace the inline XML with
+``parse_osm(open("map.osm"))``.
+
+Run:  python examples/osm_import.py
+"""
+
+import numpy as np
+
+from repro.core import identify_many
+from repro.lights.intersection import SignalPlan, attach_signals_to_network
+from repro.matching import match_trace, partition_by_light
+from repro.network import parse_osm
+from repro.sim import ApproachConfig, CitySimulation
+from repro.trace import TraceGenerator
+
+OSM_XML = """<?xml version='1.0' encoding='UTF-8'?>
+<osm version="0.6" generator="handmade">
+  <node id="1" lat="22.5400" lon="114.0400"/>
+  <node id="2" lat="22.5400" lon="114.0500">
+    <tag k="highway" v="traffic_signals"/>
+  </node>
+  <node id="3" lat="22.5400" lon="114.0600"/>
+  <node id="4" lat="22.5320" lon="114.0500"/>
+  <node id="5" lat="22.5480" lon="114.0500"/>
+  <way id="100">
+    <nd ref="1"/><nd ref="2"/><nd ref="3"/>
+    <tag k="highway" v="primary"/>
+    <tag k="name" v="ShenNan Road"/>
+  </way>
+  <way id="200">
+    <nd ref="4"/><nd ref="2"/><nd ref="5"/>
+    <tag k="highway" v="secondary"/>
+    <tag k="name" v="WenJin Road"/>
+  </way>
+</osm>
+"""
+
+
+def main() -> None:
+    net = parse_osm(OSM_XML)
+    sig = next(n for n in net.intersections if n.signalized)
+    print(f"parsed OSM: {net}")
+    print(f"signalized node: {sig.name} with "
+          f"{len(net.incoming(sig.id))} approaches\n")
+
+    plans = {sig.id: [SignalPlan(cycle_s=110.0, ns_red_s=50.0, offset_s=23.0)]}
+    signals = attach_signals_to_network(net, plans)
+    rates = {s.id: 400.0 for s in net.incoming(sig.id)}
+
+    print("simulating 1.5 h of taxi traffic on the OSM crossroad ...")
+    sim = CitySimulation(net, signals, rates, ApproachConfig(segment_length_m=400.0))
+    res = sim.run(0.0, 5400.0, seed=8)
+    trace = TraceGenerator(net).generate(res, rng=np.random.default_rng(1))
+    print(f"raw trace: {trace}\n")
+
+    parts = partition_by_light(match_trace(trace, net), net)
+    ests, fails = identify_many(parts, 5400.0)
+    for key, est in sorted(ests.items()):
+        gt = signals[sig.id].schedule_at(key[1], 5400.0)
+        print(f"{est.row()}   | truth cycle {gt.cycle_s:.0f}s red {gt.red_s:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Shared helpers: validation, RNG handling, circular arithmetic.
+
+These are intentionally tiny and dependency-free so every subpackage can
+use them without import cycles.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "as_rng",
+    "check_positive",
+    "check_nonnegative",
+    "check_in_range",
+    "check_1d",
+    "circular_diff",
+    "wrap_mod",
+    "seed_sequence_for",
+]
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_rng(seed: RngLike = None) -> np.random.Generator:
+    """Normalize *seed* into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (fresh entropy), an integer seed, a
+    :class:`~numpy.random.SeedSequence`, or an existing generator
+    (returned unchanged, so callers can thread one RNG through a
+    pipeline deterministically).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def seed_sequence_for(base_seed: int, *keys: int) -> np.random.SeedSequence:
+    """Derive a child :class:`~numpy.random.SeedSequence` for a work item.
+
+    Used by the process-pool fan-out so each task gets an independent,
+    reproducible stream regardless of scheduling order:
+
+    >>> ss = seed_sequence_for(1234, 7)
+    >>> as_rng(ss).integers(100) == as_rng(seed_sequence_for(1234, 7)).integers(100)
+    True
+    """
+    return np.random.SeedSequence(entropy=base_seed, spawn_key=tuple(keys))
+
+
+def check_positive(name: str, value: numbers.Real) -> float:
+    """Validate ``value > 0`` and return it as ``float``."""
+    v = float(value)
+    if not np.isfinite(v) or v <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return v
+
+
+def check_nonnegative(name: str, value: numbers.Real) -> float:
+    """Validate ``value >= 0`` and return it as ``float``."""
+    v = float(value)
+    if not np.isfinite(v) or v < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return v
+
+
+def check_in_range(
+    name: str,
+    value: numbers.Real,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate ``low <= value <= high`` (or strict) and return ``float``."""
+    v = float(value)
+    ok = (low <= v <= high) if inclusive else (low < v < high)
+    if not ok:
+        op = "<=" if inclusive else "<"
+        raise ValueError(f"{name} must satisfy {low} {op} value {op} {high}, got {value!r}")
+    return v
+
+
+def check_1d(name: str, arr: Sequence, dtype=float, min_len: int = 0) -> np.ndarray:
+    """Coerce *arr* to a 1-D ndarray of *dtype*, validating length."""
+    a = np.asarray(arr, dtype=dtype)
+    if a.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {a.shape}")
+    if a.shape[0] < min_len:
+        raise ValueError(f"{name} must have at least {min_len} elements, got {a.shape[0]}")
+    return a
+
+
+def wrap_mod(value, period: float):
+    """``value mod period`` mapped into ``[0, period)``; vectorized.
+
+    Unlike raw ``np.mod``, float rounding can never yield ``period``
+    itself (e.g. ``-1e-300 mod 10`` rounds to ``10.0``); such results
+    wrap to ``0``.
+    """
+    period = check_positive("period", period)
+    r = np.mod(value, period)
+    return np.where(r >= period, r - period, r)
+
+
+def circular_diff(a, b, period: float):
+    """Smallest signed difference ``a - b`` on a circle of given *period*.
+
+    The result lies in ``[-period/2, period/2)``.  Used for signal-change
+    time errors: a change detected at 1 s vs ground truth 97 s on a 98 s
+    cycle is a 2 s error, not 96 s.
+    """
+    period = check_positive("period", period)
+    d = np.mod(np.asarray(a, dtype=float) - np.asarray(b, dtype=float) + period / 2.0, period)
+    return d - period / 2.0

@@ -1,0 +1,89 @@
+"""Intersection-based enhancement (§V.B, Fig. 7, Eq. 3).
+
+All lights at one crossroad share a cycle length, and the perpendicular
+flows move *alternately*: when North-South is stopped, East-West flows.
+So a sparse direction can borrow the perpendicular direction's samples
+by **mirroring** them about the intersection's mean speed:
+
+    v_e(t) = v(t)                         if the primary has a sample
+    v_e(t) = max(0, 2·v̄ − v_perp(t))     if only the perpendicular does
+
+which converts "EW is fast" into "NS is (probably) slow" — preserving
+the shared periodicity while densifying the DFT input.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._util import check_1d, check_positive
+
+__all__ = ["mirror_speeds", "enhance_samples", "choose_primary"]
+
+
+def mirror_speeds(v_perp: np.ndarray, mean_speed: float) -> np.ndarray:
+    """Eq. 3's mirror: reflect speeds about the mean, clamped at zero."""
+    v_perp = check_1d("v_perp", v_perp)
+    return np.maximum(0.0, 2.0 * float(mean_speed) - v_perp)
+
+
+def choose_primary(
+    t_a: np.ndarray, v_a: np.ndarray, t_b: np.ndarray, v_b: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Order two directions so the denser one is primary.
+
+    Returns ``(t_primary, v_primary, t_perp, v_perp)`` — the paper
+    mirrors the sparse direction onto the dense one's timeline.
+    """
+    if np.asarray(t_a).shape[0] >= np.asarray(t_b).shape[0]:
+        return np.asarray(t_a, float), np.asarray(v_a, float), np.asarray(t_b, float), np.asarray(v_b, float)
+    return np.asarray(t_b, float), np.asarray(v_b, float), np.asarray(t_a, float), np.asarray(v_a, float)
+
+
+def enhance_samples(
+    t_primary: np.ndarray,
+    v_primary: np.ndarray,
+    t_perp: np.ndarray,
+    v_perp: np.ndarray,
+    *,
+    dt: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge perpendicular samples into the primary direction (Eq. 3).
+
+    A perpendicular sample is used only for grid seconds where the
+    primary has none (``v_t = ∅ ∧ v_t^p ≠ ∅``); it enters mirrored about
+    the pooled mean speed of the intersection.  Primary samples always
+    win collisions.
+
+    Returns the merged, time-sorted ``(t, v)`` sample set, ready for
+    :func:`repro.core.interpolation.regularize`.
+    """
+    check_positive("dt", dt)
+    t_primary = check_1d("t_primary", t_primary)
+    v_primary = check_1d("v_primary", v_primary)
+    t_perp = check_1d("t_perp", t_perp)
+    v_perp = check_1d("v_perp", v_perp)
+    if t_primary.shape != v_primary.shape or t_perp.shape != v_perp.shape:
+        raise ValueError("time and value arrays must have matching lengths")
+    if t_perp.size == 0:
+        return t_primary.copy(), v_primary.copy()
+    if t_primary.size == 0:
+        mean_speed = float(v_perp.mean())
+        return t_perp.copy(), mirror_speeds(v_perp, mean_speed)
+
+    # v̄: mean speed of the whole intersection (both directions pooled).
+    mean_speed = float(np.concatenate([v_primary, v_perp]).mean())
+
+    occupied = np.unique(np.floor(t_primary / dt).astype(np.int64))
+    perp_bucket = np.floor(t_perp / dt).astype(np.int64)
+    free = ~np.isin(perp_bucket, occupied)
+
+    t_extra = t_perp[free]
+    v_extra = mirror_speeds(v_perp[free], mean_speed)
+
+    t_all = np.concatenate([t_primary, t_extra])
+    v_all = np.concatenate([v_primary, v_extra])
+    order = np.argsort(t_all, kind="stable")
+    return t_all[order], v_all[order]

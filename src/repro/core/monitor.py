@@ -1,0 +1,224 @@
+"""Scheduling-change identification (§VII, Fig. 12).
+
+Pre-programmed lights switch plans a few times a day (peak vs off-peak);
+the paper's system notices by re-estimating the **cycle length every
+5 minutes** and watching the series:
+
+* isolated wild values are DFT artifacts → repaired by a running median;
+* a *sustained* shift to a new level is a real plan change → reported
+  with its onset time;
+* the same light behaves alike at the same time of day across days →
+  day-over-day history corrects the current estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import check_positive
+from ..matching.partition import LightPartition
+from .cycle import CycleConfig, identify_cycle_from_samples
+from .signal_types import InsufficientDataError
+
+__all__ = [
+    "MonitorSeries",
+    "PlanChange",
+    "monitor_cycle",
+    "repair_outliers",
+    "detect_plan_changes",
+    "HistoricalProfile",
+]
+
+
+@dataclass(frozen=True)
+class MonitorSeries:
+    """Periodic cycle-length estimates for one light.
+
+    ``cycle_s`` is NaN where the window was too sparse; ``quality`` is
+    the DFT peak prominence of each window.
+    """
+
+    t: np.ndarray
+    cycle_s: np.ndarray
+    quality: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.t.shape[0])
+
+    def valid_fraction(self) -> float:
+        """Share of windows that produced an estimate."""
+        return float(np.mean(~np.isnan(self.cycle_s))) if len(self) else float("nan")
+
+
+@dataclass(frozen=True)
+class PlanChange:
+    """A detected scheduling change."""
+
+    at_time: float
+    old_cycle_s: float
+    new_cycle_s: float
+
+
+def monitor_cycle(
+    partition: LightPartition,
+    t0: float,
+    t1: float,
+    *,
+    every_s: float = 300.0,
+    window_s: float = 1800.0,
+    config: CycleConfig = CycleConfig(),
+) -> MonitorSeries:
+    """Estimate the cycle every ``every_s`` seconds over ``[t0, t1]``.
+
+    Each estimate at time ``τ`` uses the trailing ``window_s`` of
+    records, exactly like the paper's continuous monitoring (5-minute
+    re-estimation, Fig. 12).
+    """
+    check_positive("every_s", every_s)
+    check_positive("window_s", window_s)
+    times = np.arange(t0 + window_s, t1 + 1e-9, every_s)
+    cycles = np.full(times.shape, np.nan)
+    quality = np.full(times.shape, np.nan)
+    for i, tau in enumerate(times):
+        sub = partition.time_window(tau - window_s, tau)
+        try:
+            est = identify_cycle_from_samples(
+                sub.trace.t, sub.trace.speed_kmh, tau - window_s, tau, config
+            )
+        except InsufficientDataError:
+            continue
+        cycles[i] = est.cycle_s
+        quality[i] = est.quality
+    return MonitorSeries(t=times, cycle_s=cycles, quality=quality)
+
+
+def repair_outliers(
+    series: MonitorSeries, *, half_width: int = 3, tol_s: float = 8.0
+) -> MonitorSeries:
+    """Replace isolated outliers with the local running median.
+
+    A sample deviating more than ``tol_s`` from the median of its
+    ``2·half_width+1`` neighbourhood (NaNs ignored) is snapped to that
+    median.  Genuine plan changes survive because after the change the
+    neighbourhood median moves with the new level.
+    """
+    c = series.cycle_s.copy()
+    n = c.shape[0]
+    repaired = c.copy()
+    for i in range(n):
+        lo, hi = max(0, i - half_width), min(n, i + half_width + 1)
+        neigh = c[lo:hi]
+        neigh = neigh[~np.isnan(neigh)]
+        if neigh.size < 2 or np.isnan(c[i]):
+            continue
+        med = float(np.median(neigh))
+        if abs(c[i] - med) > tol_s:
+            repaired[i] = med
+    return MonitorSeries(t=series.t, cycle_s=repaired, quality=series.quality)
+
+
+def detect_plan_changes(
+    series: MonitorSeries,
+    *,
+    tol_s: float = 6.0,
+    min_consecutive: int = 3,
+) -> List[PlanChange]:
+    """Find sustained level shifts in a (repaired) cycle series.
+
+    A change is declared when ``min_consecutive`` consecutive valid
+    estimates all sit more than ``tol_s`` from the current level while
+    agreeing with each other within ``tol_s``; its onset is the first
+    such estimate's time.
+    """
+    t = series.t
+    c = series.cycle_s
+    valid = ~np.isnan(c)
+    idx = np.flatnonzero(valid)
+    if idx.size == 0:
+        return []
+    changes: List[PlanChange] = []
+    level = float(c[idx[0]])
+    i = 1
+    while i < idx.size:
+        j = idx[i]
+        if abs(c[j] - level) <= tol_s:
+            # stay on the level; refine it slowly
+            level = 0.8 * level + 0.2 * float(c[j])
+            i += 1
+            continue
+        # candidate run of departures
+        run = [i]
+        k = i + 1
+        while k < idx.size and len(run) < min_consecutive:
+            jk = idx[k]
+            if abs(c[jk] - c[idx[run[0]]]) <= tol_s and abs(c[jk] - level) > tol_s:
+                run.append(k)
+                k += 1
+            else:
+                break
+        if len(run) >= min_consecutive:
+            new_level = float(np.median(c[idx[run]]))
+            changes.append(
+                PlanChange(
+                    at_time=float(t[idx[run[0]]]),
+                    old_cycle_s=level,
+                    new_cycle_s=new_level,
+                )
+            )
+            level = new_level
+            i = run[-1] + 1
+        else:
+            i += 1  # isolated blip; outlier repair should have caught it
+    return changes
+
+
+class HistoricalProfile:
+    """Day-over-day correction of cycle estimates (Fig. 12's insight).
+
+    Build it from several days of monitor series for the same light;
+    it learns the median cycle per time-of-day bin and can then
+    (a) report the historical expectation at any time of day, and
+    (b) correct a fresh estimate that disagrees wildly with history.
+    """
+
+    def __init__(
+        self,
+        day_series: Sequence[MonitorSeries],
+        *,
+        bin_s: float = 1800.0,
+        day_length_s: float = 86_400.0,
+    ) -> None:
+        check_positive("bin_s", bin_s)
+        if day_length_s % bin_s:
+            raise ValueError("bin_s must divide the day length")
+        self.bin_s = bin_s
+        self.day_length_s = day_length_s
+        n_bins = int(day_length_s // bin_s)
+        buckets: List[List[float]] = [[] for _ in range(n_bins)]
+        for series in day_series:
+            tod = np.mod(series.t, day_length_s)
+            for tau, c in zip(tod, series.cycle_s):
+                if not np.isnan(c):
+                    buckets[int(tau // bin_s) % n_bins].append(float(c))
+        self.median = np.array(
+            [np.median(b) if b else np.nan for b in buckets]
+        )
+        self.support = np.array([len(b) for b in buckets])
+
+    def expectation_at(self, t: float) -> float:
+        """Historical median cycle at (the time-of-day of) ``t``."""
+        tod = float(t) % self.day_length_s
+        return float(self.median[int(tod // self.bin_s)])
+
+    def correct(self, t: float, estimate_s: float, *, tol_s: float = 10.0) -> float:
+        """Snap an estimate to history when it disagrees by > ``tol_s``.
+
+        NaN history (never-observed slot) passes the estimate through.
+        """
+        expect = self.expectation_at(t)
+        if np.isnan(expect) or abs(estimate_s - expect) <= tol_s:
+            return float(estimate_s)
+        return expect

@@ -1,0 +1,277 @@
+"""End-to-end per-light identification (Fig. 4's flow chart).
+
+Chains the paper's stages for one traffic light at one point in time:
+
+    partitioned records ─→ cycle length (DFT, §V, optionally enhanced
+    by the perpendicular direction, §V.B; sharpened by epoch folding)
+    ─→ red duration (border-interval, §VI.A) ─→ superposition +
+    sliding-window change point (§VI.B/C) ─→ a fitted absolute-time
+    LightSchedule.
+
+``identify_many`` fans the per-light work out over a process pool —
+the parallelism the paper gets for free from per-light partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .._util import check_positive
+from ..lights.schedule import LightSchedule
+from ..matching.partition import LightKey, LightPartition
+from ..network.roadnet import Approach
+from ..parallel.pool import pmap
+from .changepoint import find_signal_change
+from .cycle import CycleConfig, identify_cycle_from_samples
+from .enhancement import choose_primary, enhance_samples
+from .redlight import RedConfig, estimate_red_duration, refine_red_from_change
+from .signal_types import InsufficientDataError, ScheduleEstimate
+from .stops import extract_stops
+from .superposition import cycle_profile
+
+__all__ = ["PipelineConfig", "identify_light", "identify_many", "measured_mean_interval"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunables of the full identification pipeline.
+
+    Parameters
+    ----------
+    window_s:
+        How much history feeds the cycle DFT and the superposition
+        (paper examples use 30–60 min).
+    stop_window_s:
+        How much history feeds the stop-duration statistics; red
+        durations change rarely, so a longer window is safe and much
+        more accurate on sparse lights.
+    phase_window_s:
+        How much history feeds the superposition/change-point step.
+        Shorter than ``window_s``: a period error δc smears the folded
+        phase by (window/cycle)·δc, so the phase estimate prefers a
+        tighter window than the frequency estimate.
+    max_sample_dist_m:
+        Only reports within this distance of the stop line feed the
+        speed signal — upstream free-flow traffic is not modulated by
+        the light and only adds noise.
+    cycle, red:
+        Stage configurations.
+    use_enhancement:
+        Mirror the perpendicular direction's samples when the primary
+        direction is sparse (§V.B).
+    enhancement_threshold:
+        Enhancement kicks in when the primary window holds fewer raw
+        samples than this.
+    measure_interval:
+        Use the partition's own measured mean update interval as the
+        red histogram's bin width instead of the configured constant.
+    fusion_weight:
+        Weight of the stop-end density in the change-point fusion
+        (0 = the paper-literal sliding-window detector alone).
+    refine_red:
+        Re-estimate the red duration from stops aligned with the
+        identified red→green instant (one-sided truncation only).
+    """
+
+    window_s: float = 1800.0
+    stop_window_s: float = 3600.0
+    phase_window_s: float = 1200.0
+    max_sample_dist_m: float = 150.0
+    cycle: CycleConfig = field(default_factory=CycleConfig)
+    red: RedConfig = field(default_factory=RedConfig)
+    use_enhancement: bool = True
+    enhancement_threshold: int = 60
+    measure_interval: bool = True
+    fusion_weight: float = 0.5
+    refine_red: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("window_s", self.window_s)
+        check_positive("stop_window_s", self.stop_window_s)
+        check_positive("phase_window_s", self.phase_window_s)
+        check_positive("max_sample_dist_m", self.max_sample_dist_m)
+
+
+def measured_mean_interval(partition: LightPartition, default_s: float = 20.14) -> float:
+    """Mean time between consecutive same-taxi reports in a partition.
+
+    Falls back to ``default_s`` (the paper's fleet-wide figure) when the
+    partition holds no consecutive pairs.
+    """
+    trace = partition.trace
+    if len(trace) < 2:
+        return default_s
+    order = np.lexsort((trace.t, trace.taxi_id))
+    tid = trace.taxi_id[order]
+    t = trace.t[order]
+    same = tid[1:] == tid[:-1]
+    dt = np.diff(t)[same]
+    dt = dt[(dt > 0) & (dt <= 120.0)]  # ignore cross-visit gaps
+    return float(dt.mean()) if dt.size else default_s
+
+
+def _window_samples(
+    partition: LightPartition, t0: float, t1: float, max_dist_m: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(t, speed) samples near the stop line within a window."""
+    keep = (
+        (partition.trace.t >= t0)
+        & (partition.trace.t < t1)
+        & (partition.dist_to_stopline_m <= max_dist_m)
+    )
+    return partition.trace.t[keep], partition.trace.speed_kmh[keep]
+
+
+def identify_light(
+    partition: LightPartition,
+    at_time: float,
+    *,
+    perpendicular: Optional[LightPartition] = None,
+    config: PipelineConfig = PipelineConfig(),
+) -> ScheduleEstimate:
+    """Identify one light's schedule as of ``at_time``.
+
+    Parameters
+    ----------
+    partition:
+        The target light's records (its own approach group).
+    perpendicular:
+        The crossing approach group at the same intersection, used for
+        §V.B enhancement on sparse windows.
+
+    Raises
+    ------
+    InsufficientDataError:
+        When even the enhanced window can't support the DFT, or too few
+        stop events survive filtering.
+    """
+    anchor = at_time - config.window_s
+    t_own, v_own = _window_samples(partition, anchor, at_time, config.max_sample_dist_m)
+    t, v = t_own, v_own
+
+    enhanced = False
+    if (
+        config.use_enhancement
+        and perpendicular is not None
+        and t.shape[0] < config.enhancement_threshold
+    ):
+        tp, vp = _window_samples(
+            perpendicular, anchor, at_time, config.max_sample_dist_m
+        )
+        if tp.size:
+            t1_, v1_, t2_, v2_ = choose_primary(t, v, tp, vp)
+            t, v = enhance_samples(t1_, v1_, t2_, v2_)
+            enhanced = True
+
+    stops = extract_stops(partition).time_window(
+        at_time - config.stop_window_s, at_time
+    )
+    stops = stops.subset(~stops.passenger_changed) if len(stops) else stops
+    # Each stop's last stationary report precedes the true green onset
+    # by ~half that taxi's report gap on average; corrected end times
+    # anchor both the cycle search (comb score) and the change point.
+    gaps = stops.duration_s / np.maximum(stops.n_records - 1, 1)
+    stop_ends = stops.t_end + gaps / 2.0
+
+    cyc = identify_cycle_from_samples(
+        t, v, anchor, at_time, config.cycle, enhanced=enhanced,
+        stop_ends=stop_ends if len(stops) else None,
+    )
+    cycle_s = cyc.cycle_s
+
+    interval_s = (
+        measured_mean_interval(partition) if config.measure_interval else None
+    )
+    red = estimate_red_duration(
+        stops.duration_s, cycle_s, config.red, mean_interval_s=interval_s
+    )
+    red_s = min(red.red_s, 0.9 * cycle_s)  # keep the schedule well-formed
+
+    # Superpose the *target direction's* own samples (not the mirrored
+    # ones: the perpendicular direction has the opposite phase) over
+    # the tighter phase window.
+    phase_anchor = at_time - config.phase_window_s
+    t_ph, v_ph = _window_samples(
+        partition, phase_anchor, at_time, config.max_sample_dist_m
+    )
+    if t_ph.shape[0] < 4:
+        raise InsufficientDataError(
+            f"only {t_ph.shape[0]} samples for superposition in window "
+            f"[{phase_anchor}, {at_time})"
+        )
+    profile = cycle_profile(t_ph, v_ph, cycle_s, phase_anchor)
+    ends_in_cycle = np.mod(stop_ends - phase_anchor, cycle_s)
+    change = find_signal_change(
+        profile,
+        red_s,
+        stop_ends_in_cycle=ends_in_cycle if len(stops) else None,
+        fusion_weight=config.fusion_weight,
+    )
+
+    red_to_green_abs = phase_anchor + change.red_to_green_s
+    if config.refine_red:
+        refined = refine_red_from_change(stops, cycle_s, red_to_green_abs)
+        if refined is not None:
+            red_s = min(refined, 0.9 * cycle_s)
+            red = replace(red, red_s=red_s)
+
+    schedule = LightSchedule(
+        cycle_s=cycle_s,
+        red_s=red_s,
+        # the detector pins the red→green instant; red counts back from it
+        offset_s=red_to_green_abs - red_s,
+    )
+    return ScheduleEstimate(
+        intersection_id=partition.intersection_id,
+        approach=partition.approach,
+        at_time=at_time,
+        schedule=schedule,
+        cycle=cyc,
+        red=red,
+        change=change,
+    )
+
+
+def _identify_one(args) -> Tuple[LightKey, Optional[ScheduleEstimate], Optional[str]]:
+    """Worker: identify one light, swallowing data-poverty errors."""
+    partition, perpendicular, at_time, config = args
+    try:
+        est = identify_light(
+            partition, at_time, perpendicular=perpendicular, config=config
+        )
+        return partition.key, est, None
+    except InsufficientDataError as exc:
+        return partition.key, None, str(exc)
+
+
+def identify_many(
+    partitions: Dict[LightKey, LightPartition],
+    at_time: float,
+    *,
+    config: PipelineConfig = PipelineConfig(),
+    max_workers: Optional[int] = None,
+    serial: bool = False,
+) -> Tuple[Dict[LightKey, ScheduleEstimate], Dict[LightKey, str]]:
+    """Identify every partitioned light at ``at_time`` in parallel.
+
+    Returns ``(estimates, failures)`` — lights whose windows were too
+    sparse land in *failures* with the reason string.
+    """
+    other = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
+    jobs = []
+    for key in sorted(partitions):
+        iid, app = key
+        perp = partitions.get((iid, other[app]))
+        jobs.append((partitions[key], perp, at_time, config))
+    results = pmap(_identify_one, jobs, max_workers=max_workers, serial=serial)
+    estimates: Dict[LightKey, ScheduleEstimate] = {}
+    failures: Dict[LightKey, str] = {}
+    for key, est, err in results:
+        if est is not None:
+            estimates[key] = est
+        else:
+            failures[key] = err or "unknown"
+    return estimates, failures

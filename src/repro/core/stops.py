@@ -1,0 +1,153 @@
+"""Stop-event extraction from low-frequency taxi reports (§VI.A).
+
+A taxi waiting at a red light reports the *same position* several times
+in a row (the red is ~4.5× longer than the mean update interval, so at
+least two updates land inside a wait).  A **stop event** is a maximal
+streak of consecutive same-taxi reports whose pairwise displacement
+stays under a GPS-noise-aware threshold; its duration is the time
+between the streak's first and last report.
+
+Each event also records whether the passenger flag flipped inside it —
+the paper discards those (passenger pick-up/drop-off, not a red light)
+— and how far from the stop line it happened, so estimators can ignore
+curbside stops far upstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .._util import check_positive
+from ..matching.partition import LightPartition
+from ..network.geometry import LocalFrame
+
+__all__ = ["StopEvents", "extract_stops"]
+
+
+@dataclass(frozen=True)
+class StopEvents:
+    """Columnar stop events; one row per event."""
+
+    taxi_id: np.ndarray
+    t_start: np.ndarray
+    t_end: np.ndarray
+    passenger_changed: np.ndarray
+    dist_to_stopline_m: np.ndarray
+    n_records: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.taxi_id.shape[0])
+
+    @property
+    def duration_s(self) -> np.ndarray:
+        """Observed stop durations (end − start)."""
+        return self.t_end - self.t_start
+
+    def subset(self, index) -> "StopEvents":
+        return StopEvents(
+            taxi_id=self.taxi_id[index],
+            t_start=self.t_start[index],
+            t_end=self.t_end[index],
+            passenger_changed=self.passenger_changed[index],
+            dist_to_stopline_m=self.dist_to_stopline_m[index],
+            n_records=self.n_records[index],
+        )
+
+    def time_window(self, t0: float, t1: float) -> "StopEvents":
+        """Events that *start* within ``[t0, t1)``."""
+        return self.subset((self.t_start >= t0) & (self.t_start < t1))
+
+    @classmethod
+    def empty(cls) -> "StopEvents":
+        z = np.empty(0)
+        zi = z.astype(np.int64)
+        return cls(zi, z, z, z.astype(bool), z, zi)
+
+
+def extract_stops(
+    partition: LightPartition,
+    frame: Optional[LocalFrame] = None,
+    *,
+    stationary_eps_m: float = 20.0,
+    max_dist_to_stopline_m: float = 150.0,
+    speed_eps_kmh: float = 8.0,
+) -> StopEvents:
+    """Find stop events in one light's partition.
+
+    Parameters
+    ----------
+    partition:
+        Per-light record block (time-sorted).
+    stationary_eps_m:
+        Max displacement between consecutive reports to still count as
+        "same position" (absorbs routine GPS jitter).
+    max_dist_to_stopline_m:
+        Events whose mean position is farther upstream are dropped —
+        they can't be a wait at *this* light's queue.
+    speed_eps_kmh:
+        Both reports of a stationary pair must also read (near-)zero
+        speed; the odometer field is what makes 20 m of GPS noise safe.
+    """
+    check_positive("stationary_eps_m", stationary_eps_m)
+    check_positive("max_dist_to_stopline_m", max_dist_to_stopline_m)
+    frame = frame if frame is not None else LocalFrame()
+
+    trace = partition.trace
+    n = len(trace)
+    if n < 2:
+        return StopEvents.empty()
+
+    order = np.lexsort((trace.t, trace.taxi_id))
+    tid = trace.taxi_id[order]
+    t = trace.t[order]
+    lon, lat = trace.lon[order], trace.lat[order]
+    speed = trace.speed_kmh[order]
+    passenger = trace.passenger[order]
+    dist_stop = partition.dist_to_stopline_m[order]
+
+    x, y = frame.to_local(lon, lat)
+    same_taxi = tid[1:] == tid[:-1]
+    disp = np.hypot(np.diff(x), np.diff(y))
+    slow = (speed[1:] <= speed_eps_kmh) & (speed[:-1] <= speed_eps_kmh)
+    still_pair = same_taxi & (disp <= stationary_eps_m) & slow
+
+    if not still_pair.any():
+        return StopEvents.empty()
+
+    # Maximal runs of consecutive True pairs → record ranges [s, e+1].
+    padded = np.concatenate([[False], still_pair, [False]])
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    run_starts, run_ends = edges[0::2], edges[1::2]  # pair-index ranges
+
+    rows = []
+    for s, e in zip(run_starts, run_ends):
+        first, last = s, e  # records s .. e inclusive of pair e-1 → e
+        recs = slice(first, last + 1)
+        mean_d = float(dist_stop[recs].mean())
+        if mean_d > max_dist_to_stopline_m:
+            continue
+        pas = passenger[recs]
+        rows.append(
+            (
+                int(tid[first]),
+                float(t[first]),
+                float(t[last]),
+                bool((pas != pas[0]).any()),
+                mean_d,
+                int(last - first + 1),
+            )
+        )
+    if not rows:
+        return StopEvents.empty()
+    cols = list(zip(*rows))
+    return StopEvents(
+        taxi_id=np.asarray(cols[0], dtype=np.int64),
+        t_start=np.asarray(cols[1], dtype=float),
+        t_end=np.asarray(cols[2], dtype=float),
+        passenger_changed=np.asarray(cols[3], dtype=bool),
+        dist_to_stopline_m=np.asarray(cols[4], dtype=float),
+        n_records=np.asarray(cols[5], dtype=np.int64),
+    )

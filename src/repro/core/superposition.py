@@ -1,0 +1,78 @@
+"""Data superposition: folding many cycles into one (§VI.B, Fig. 10).
+
+Once the cycle length is known, every report timestamp can be reduced
+modulo the cycle (relative to an anchor).  Sparse observations from
+dozens of cycles then stack inside a single cycle — "new index = old
+index modulo cycle length" — while each report keeps its in-cycle
+position, so the signal-change time survives the fold.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .._util import check_1d, check_positive, wrap_mod
+
+__all__ = ["fold_times", "fold_samples", "cycle_profile"]
+
+
+def fold_times(t: np.ndarray, cycle_s: float, anchor: float = 0.0) -> np.ndarray:
+    """Fold absolute times into ``[0, cycle_s)`` relative to *anchor*."""
+    t = check_1d("t", t)
+    check_positive("cycle_s", cycle_s)
+    return wrap_mod(t - anchor, cycle_s)
+
+
+def fold_samples(
+    t: np.ndarray, v: np.ndarray, cycle_s: float, anchor: float = 0.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold timed samples; returns them sorted by in-cycle time."""
+    v = check_1d("v", v)
+    ft = fold_times(t, cycle_s, anchor)
+    if ft.shape != v.shape:
+        raise ValueError("t and v must have equal length")
+    order = np.argsort(ft, kind="stable")
+    return ft[order], v[order]
+
+
+def cycle_profile(
+    t: np.ndarray,
+    v: np.ndarray,
+    cycle_s: float,
+    anchor: float = 0.0,
+    *,
+    bin_s: float = 1.0,
+) -> np.ndarray:
+    """Mean value per in-cycle second (the superposed speed profile).
+
+    Empty bins are filled by *circular* linear interpolation between
+    their populated neighbours — the fold is periodic, so second 0
+    neighbours second ``cycle−1``.  Raises ``ValueError`` when every
+    bin is empty.
+    """
+    check_positive("bin_s", bin_s)
+    ft, fv = fold_samples(t, v, cycle_s, anchor)
+    n_bins = max(int(np.ceil(cycle_s / bin_s)), 1)
+    idx = np.minimum((ft / bin_s).astype(np.int64), n_bins - 1)
+    sums = np.bincount(idx, weights=fv, minlength=n_bins)
+    counts = np.bincount(idx, minlength=n_bins)
+    filled = counts > 0
+    if not filled.any():
+        raise ValueError("cannot build a cycle profile from zero samples")
+    profile = np.full(n_bins, np.nan)
+    profile[filled] = sums[filled] / counts[filled]
+    if filled.all():
+        return profile
+
+    # Circular interpolation: unwrap the populated bins once around.
+    known = np.flatnonzero(filled)
+    known_ext = np.concatenate([known, known[:1] + n_bins])
+    vals_ext = np.concatenate([profile[known], profile[known][:1]])
+    missing = np.flatnonzero(~filled)
+    # place each missing bin after the first known bin (shift by period
+    # where needed) so np.interp sees a monotone axis
+    shifted = np.where(missing < known[0], missing + n_bins, missing)
+    profile[missing] = np.interp(shifted, known_ext, vals_ext)
+    return profile

@@ -1,0 +1,24 @@
+"""Evaluation harness: error metrics, CDFs, and randomized sweeps
+reproducing §VIII.A (Figs. 13 and 14)."""
+
+from .cdf import cdf_at, empirical_cdf, fraction_within, summarize_errors
+from .errors import ScheduleErrors, compare
+from .harness import (
+    EvalResult,
+    EvalSample,
+    evaluate_at_times,
+    simulate_and_partition,
+)
+
+__all__ = [
+    "cdf_at",
+    "empirical_cdf",
+    "fraction_within",
+    "summarize_errors",
+    "ScheduleErrors",
+    "compare",
+    "EvalResult",
+    "EvalSample",
+    "evaluate_at_times",
+    "simulate_and_partition",
+]

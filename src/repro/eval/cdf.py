@@ -1,0 +1,54 @@
+"""Empirical CDF helpers for the Fig. 14 error analysis."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .._util import check_1d
+
+__all__ = ["empirical_cdf", "fraction_within", "cdf_at", "summarize_errors"]
+
+
+def empirical_cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """``(x, F(x))`` of the empirical distribution.
+
+    ``x`` is sorted; ``F`` steps from 1/n to 1.  NaNs are dropped.
+    """
+    v = check_1d("values", values)
+    v = np.sort(v[~np.isnan(v)])
+    if v.size == 0:
+        return v, v
+    return v, np.arange(1, v.size + 1) / v.size
+
+
+def fraction_within(values: Sequence[float], tol: float) -> float:
+    """Share of |values| ≤ tol (NaNs count as misses, like failed runs)."""
+    v = check_1d("values", values)
+    if v.size == 0:
+        return float("nan")
+    return float(np.mean(np.abs(np.nan_to_num(v, nan=np.inf)) <= tol))
+
+
+def cdf_at(values: Sequence[float], points: Sequence[float]) -> np.ndarray:
+    """Evaluate the |error| CDF at given tolerance points."""
+    v = np.abs(check_1d("values", values))
+    v = np.sort(v[~np.isnan(v)])
+    pts = check_1d("points", points)
+    if v.size == 0:
+        return np.full(pts.shape, np.nan)
+    return np.searchsorted(v, pts, side="right") / v.size
+
+
+def summarize_errors(values: Sequence[float], name: str = "") -> str:
+    """One printable row: median / p80 / p95 of |errors| and gross rate."""
+    v = np.abs(check_1d("values", values))
+    v = v[~np.isnan(v)]
+    if v.size == 0:
+        return f"{name}: no data"
+    return (
+        f"{name}: n={v.size} median={np.median(v):.1f}s "
+        f"p80={np.quantile(v, 0.8):.1f}s p95={np.quantile(v, 0.95):.1f}s "
+        f">10s={100 * np.mean(v > 10):.1f}%"
+    )

@@ -1,0 +1,68 @@
+"""Error metrics for identified schedules vs ground truth (§VIII.A).
+
+The three quantities Fig. 13/14 reports:
+
+* **cycle-length error** — plain difference of cycle lengths;
+* **red-light-length error** — plain difference of red durations;
+* **signal-change-time error** — *circular* difference of the
+  green→red change phase (a change detected 2 s before the true one on
+  a 98 s cycle is a 2 s error, not 96 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._util import circular_diff
+from ..lights.schedule import LightSchedule
+from ..core.signal_types import ScheduleEstimate
+
+__all__ = ["ScheduleErrors", "compare"]
+
+
+@dataclass(frozen=True)
+class ScheduleErrors:
+    """Signed identification errors of one estimate."""
+
+    cycle_s: float
+    red_s: float
+    change_s: float
+
+    @property
+    def max_abs(self) -> float:
+        """Worst of the three absolute errors."""
+        return max(abs(self.cycle_s), abs(self.red_s), abs(self.change_s))
+
+    def within(self, tol_s: float) -> bool:
+        """Whether every error is within ``tol_s`` seconds."""
+        return self.max_abs <= tol_s
+
+    def row(self) -> str:
+        return (
+            f"dCycle={self.cycle_s:+6.1f}s dRed={self.red_s:+6.1f}s "
+            f"dChange={self.change_s:+6.1f}s"
+        )
+
+
+def compare(estimate: ScheduleEstimate, truth: LightSchedule) -> ScheduleErrors:
+    """Errors of an estimate against the true schedule.
+
+    The change-time error compares the *absolute* green→red instants on
+    the true cycle's circle, so a correct phase expressed with a
+    slightly different cycle length still scores near zero.
+    """
+    change = float(
+        circular_diff(
+            # red→green instants: the change the detector measures
+            estimate.schedule.offset_s + estimate.schedule.red_s,
+            truth.offset_s + truth.red_s,
+            truth.cycle_s,
+        )
+    )
+    return ScheduleErrors(
+        cycle_s=float(estimate.cycle_s - truth.cycle_s),
+        red_s=float(estimate.red_s - truth.red_s),
+        change_s=change,
+    )

@@ -1,0 +1,36 @@
+"""Traffic-light substrate: schedules, controllers, intersection groups.
+
+Implements the paper's signal model (Fig. 3) and the three controller
+categories of §III (static, pre-programmed dynamic, manual).
+"""
+
+from .controller import (
+    SECONDS_PER_DAY,
+    LightController,
+    ManualController,
+    PlanSwitch,
+    PreProgrammedController,
+    StaticController,
+)
+from .intersection import (
+    IntersectionSignals,
+    SignalPlan,
+    attach_signals_to_network,
+    make_intersection_signals,
+)
+from .schedule import LightSchedule, Phase
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "LightController",
+    "ManualController",
+    "PlanSwitch",
+    "PreProgrammedController",
+    "StaticController",
+    "IntersectionSignals",
+    "SignalPlan",
+    "attach_signals_to_network",
+    "make_intersection_signals",
+    "LightSchedule",
+    "Phase",
+]

@@ -1,0 +1,169 @@
+"""Traffic-light controllers: the three categories of §III.
+
+1. :class:`StaticController` — one fixed schedule, never changes
+   (the majority of Shenzhen lights, per the paper's police interview).
+2. :class:`PreProgrammedController` — multiple time-of-day plans
+   (e.g. peak vs off-peak), switching at fixed seconds-of-day.
+3. :class:`ManualController` — a pre-programmed base plus ad-hoc manual
+   override windows (police-controlled arterials).  The paper's system
+   targets the first two; the manual controller exists so the evaluation
+   can show what its traces look like.
+
+A controller answers ``schedule_at(t)`` — the :class:`LightSchedule` in
+force at absolute time ``t`` — plus convenience phase queries that
+delegate to it.  Absolute time ``t=0`` is midnight of simulation day 0;
+time-of-day is ``t mod 86400``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .._util import check_in_range
+from .schedule import LightSchedule, Phase
+
+__all__ = [
+    "SECONDS_PER_DAY",
+    "LightController",
+    "StaticController",
+    "PreProgrammedController",
+    "ManualController",
+    "PlanSwitch",
+]
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class LightController:
+    """Abstract controller interface."""
+
+    def schedule_at(self, t: float) -> LightSchedule:
+        """The schedule in force at absolute time ``t``."""
+        raise NotImplementedError
+
+    # -- delegating phase helpers --------------------------------------
+    def is_red(self, t: float) -> bool:
+        """Whether the light is red at absolute time ``t``."""
+        return bool(self.schedule_at(t).is_red(t))
+
+    def is_green(self, t: float) -> bool:
+        """Whether the light is green at absolute time ``t``."""
+        return not self.is_red(t)
+
+    def phase(self, t: float) -> str:
+        """Phase constant at absolute time ``t``."""
+        return Phase.RED if self.is_red(t) else Phase.GREEN
+
+    def wait_if_arriving(self, t: float) -> float:
+        """Remaining red time for an arrival at ``t`` (0 when green)."""
+        return self.schedule_at(t).wait_if_arriving(t)
+
+    def plan_switch_times(self, t0: float, t1: float) -> List[float]:
+        """Absolute times in ``[t0, t1)`` at which the scheduling *plan*
+        changes — the ground truth for §VII's scheduling-change
+        identification.  Static lights return ``[]``."""
+        return []
+
+
+@dataclass(frozen=True)
+class StaticController(LightController):
+    """Category 1: a single schedule forever."""
+
+    schedule: LightSchedule
+
+    def schedule_at(self, t: float) -> LightSchedule:
+        return self.schedule
+
+
+@dataclass(frozen=True)
+class PlanSwitch:
+    """One time-of-day plan entry: *schedule* applies from
+    ``start_second_of_day`` until the next entry's start."""
+
+    start_second_of_day: float
+    schedule: LightSchedule
+
+    def __post_init__(self) -> None:
+        check_in_range("start_second_of_day", self.start_second_of_day, 0.0, SECONDS_PER_DAY, inclusive=True)
+
+
+class PreProgrammedController(LightController):
+    """Category 2: time-of-day plans repeating every day.
+
+    Parameters
+    ----------
+    plans:
+        Plan entries sorted (or sortable) by ``start_second_of_day``.
+        The plan with the latest start wraps around past midnight: if
+        the first entry starts at 07:00, times in [00:00, 07:00) use the
+        last entry's schedule.
+    """
+
+    def __init__(self, plans: Sequence[PlanSwitch]) -> None:
+        if not plans:
+            raise ValueError("PreProgrammedController requires at least one plan")
+        self.plans: List[PlanSwitch] = sorted(plans, key=lambda p: p.start_second_of_day)
+        starts = [p.start_second_of_day for p in self.plans]
+        if len(set(starts)) != len(starts):
+            raise ValueError("plan start times must be distinct")
+        self._starts = np.asarray(starts, dtype=float)
+
+    def schedule_at(self, t: float) -> LightSchedule:
+        tod = float(t) % SECONDS_PER_DAY
+        idx = int(np.searchsorted(self._starts, tod, side="right")) - 1
+        return self.plans[idx].schedule  # idx == -1 wraps to the last plan
+
+    def plan_switch_times(self, t0: float, t1: float) -> List[float]:
+        if len(self.plans) < 2:
+            return []
+        out: List[float] = []
+        day0 = int(np.floor(t0 / SECONDS_PER_DAY))
+        day1 = int(np.floor(t1 / SECONDS_PER_DAY))
+        for day in range(day0, day1 + 1):
+            base = day * SECONDS_PER_DAY
+            for p in self.plans:
+                abs_t = base + p.start_second_of_day
+                if t0 <= abs_t < t1:
+                    out.append(abs_t)
+        return sorted(out)
+
+
+class ManualController(LightController):
+    """Category 3: pre-programmed base with manual override windows.
+
+    Each override is ``(start, end, schedule)`` in absolute seconds.
+    Outside overrides it behaves exactly like its base controller —
+    matching the paper's description that manually-controlled lights
+    "work similar as pre-programmed traffic lights" when unattended.
+    """
+
+    def __init__(
+        self,
+        base: LightController,
+        overrides: Sequence[Tuple[float, float, LightSchedule]] = (),
+    ) -> None:
+        self.base = base
+        self.overrides = sorted(overrides, key=lambda o: o[0])
+        for (s0, e0, _), (s1, _e1, _2) in zip(self.overrides, self.overrides[1:]):
+            if s1 < e0:
+                raise ValueError("manual override windows must not overlap")
+        for s, e, _ in self.overrides:
+            if e <= s:
+                raise ValueError("override end must be after start")
+
+    def schedule_at(self, t: float) -> LightSchedule:
+        for s, e, sched in self.overrides:
+            if s <= t < e:
+                return sched
+        return self.base.schedule_at(t)
+
+    def plan_switch_times(self, t0: float, t1: float) -> List[float]:
+        out = set(self.base.plan_switch_times(t0, t1))
+        for s, e, _ in self.overrides:
+            for edge in (s, e):
+                if t0 <= edge < t1:
+                    out.add(edge)
+        return sorted(out)

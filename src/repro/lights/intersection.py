@@ -1,0 +1,144 @@
+"""Per-intersection signal groups.
+
+A signalized crossroad runs two complementary phase groups — North-South
+and East-West — that share one cycle length (the empirical fact behind
+the paper's intersection-based enhancement, §V.B).  This module binds a
+:class:`~repro.lights.controller.LightController` to each approach group
+of an intersection and exposes lookups by segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..network.roadnet import Approach, RoadNetwork, Segment
+from .controller import (
+    LightController,
+    PlanSwitch,
+    PreProgrammedController,
+    StaticController,
+)
+from .schedule import LightSchedule
+
+__all__ = ["IntersectionSignals", "SignalPlan", "make_intersection_signals"]
+
+
+@dataclass(frozen=True)
+class SignalPlan:
+    """Parameters for one time-of-day plan at an intersection.
+
+    ``ns_red_s`` is the red duration seen by the North-South approaches;
+    East-West sees the complement (``cycle_s − ns_red_s``).
+    """
+
+    cycle_s: float
+    ns_red_s: float
+    offset_s: float = 0.0
+    start_second_of_day: float = 0.0
+
+    def ns_schedule(self) -> LightSchedule:
+        """Schedule of the NS approach group."""
+        return LightSchedule(self.cycle_s, self.ns_red_s, self.offset_s)
+
+    def ew_schedule(self) -> LightSchedule:
+        """Schedule of the EW approach group (complement of NS)."""
+        return self.ns_schedule().complement()
+
+
+class IntersectionSignals:
+    """Signal controllers of one intersection, keyed by approach group.
+
+    Parameters
+    ----------
+    intersection_id:
+        Node id within the road network.
+    controllers:
+        Mapping ``{"NS": controller, "EW": controller}``.
+    """
+
+    def __init__(self, intersection_id: int, controllers: Dict[str, LightController]) -> None:
+        missing = {Approach.NS, Approach.EW} - set(controllers)
+        if missing:
+            raise ValueError(f"missing controllers for approach groups: {sorted(missing)}")
+        self.intersection_id = intersection_id
+        self.controllers = dict(controllers)
+
+    def controller_for(self, approach: str) -> LightController:
+        """Controller of an approach group (``"NS"`` or ``"EW"``)."""
+        return self.controllers[approach]
+
+    def controller_for_segment(self, segment: Segment) -> LightController:
+        """Controller governing a directed segment arriving here."""
+        if segment.to_id != self.intersection_id:
+            raise ValueError(
+                f"segment {segment.id} ends at {segment.to_id}, not {self.intersection_id}"
+            )
+        return self.controllers[segment.approach]
+
+    def schedule_at(self, approach: str, t: float) -> LightSchedule:
+        """Schedule of an approach group at absolute time ``t``."""
+        return self.controllers[approach].schedule_at(t)
+
+    def shared_cycle_at(self, t: float) -> float:
+        """The (shared) cycle length at time ``t``.
+
+        Raises if the two groups disagree — by construction of
+        :func:`make_intersection_signals` they never do, and the paper's
+        enhancement relies on this invariant.
+        """
+        ns = self.controllers[Approach.NS].schedule_at(t).cycle_s
+        ew = self.controllers[Approach.EW].schedule_at(t).cycle_s
+        if abs(ns - ew) > 1e-9:
+            raise RuntimeError(
+                f"intersection {self.intersection_id}: NS cycle {ns} != EW cycle {ew}"
+            )
+        return ns
+
+
+def make_intersection_signals(
+    intersection_id: int,
+    plans: List[SignalPlan],
+) -> IntersectionSignals:
+    """Build complementary NS/EW controllers from one or more plans.
+
+    A single plan yields :class:`StaticController`s (category 1); several
+    plans yield :class:`PreProgrammedController`s switching at their
+    ``start_second_of_day`` (category 2).  Both groups always share each
+    plan's cycle length.
+    """
+    if not plans:
+        raise ValueError("at least one SignalPlan is required")
+    if len(plans) == 1:
+        p = plans[0]
+        return IntersectionSignals(
+            intersection_id,
+            {
+                Approach.NS: StaticController(p.ns_schedule()),
+                Approach.EW: StaticController(p.ew_schedule()),
+            },
+        )
+    ns = PreProgrammedController(
+        [PlanSwitch(p.start_second_of_day, p.ns_schedule()) for p in plans]
+    )
+    ew = PreProgrammedController(
+        [PlanSwitch(p.start_second_of_day, p.ew_schedule()) for p in plans]
+    )
+    return IntersectionSignals(intersection_id, {Approach.NS: ns, Approach.EW: ew})
+
+
+def attach_signals_to_network(
+    net: RoadNetwork,
+    plans_by_intersection: Dict[int, List[SignalPlan]],
+) -> Dict[int, IntersectionSignals]:
+    """Create :class:`IntersectionSignals` for every signalized node.
+
+    Missing entries in *plans_by_intersection* raise, so a scenario can't
+    silently leave a light uncontrolled.
+    """
+    out: Dict[int, IntersectionSignals] = {}
+    for node in net.signalized_intersections():
+        if node.id not in plans_by_intersection:
+            raise ValueError(f"no signal plans provided for intersection {node.id}")
+        out[node.id] = make_intersection_signals(node.id, plans_by_intersection[node.id])
+    return out

@@ -1,0 +1,179 @@
+"""Traffic-light schedule model (Fig. 3 of the paper).
+
+A :class:`LightSchedule` captures the three parameters the paper's
+system identifies for a single light:
+
+* **cycle length** — duration of one full red+green cycle;
+* **red duration** (yellow folded into red, per the paper's convention);
+* **offset** — the absolute time at which a red phase starts, which
+  fixes the **signal change times** (red→green and green→red).
+
+All queries are pure functions of absolute time, so schedules are
+immutable and safely shared across simulator workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .._util import check_nonnegative, check_positive, wrap_mod
+
+__all__ = ["Phase", "LightSchedule"]
+
+
+class Phase:
+    """Signal phase constants."""
+
+    RED = "RED"
+    GREEN = "GREEN"
+
+
+@dataclass(frozen=True)
+class LightSchedule:
+    """Fixed-time schedule of one traffic light.
+
+    The light is **red** on ``[offset + k*cycle, offset + k*cycle + red)``
+    for every integer ``k``, and green otherwise.
+
+    Parameters
+    ----------
+    cycle_s:
+        Full cycle length in seconds (> 0).
+    red_s:
+        Red duration in seconds, ``0 < red_s < cycle_s``.
+    offset_s:
+        Absolute time at which (one of) the red phases begins.
+    """
+
+    cycle_s: float
+    red_s: float
+    offset_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("cycle_s", self.cycle_s)
+        check_positive("red_s", self.red_s)
+        if not self.red_s < self.cycle_s:
+            raise ValueError(
+                f"red_s ({self.red_s}) must be strictly less than cycle_s ({self.cycle_s})"
+            )
+        check_nonnegative("offset_s + cycle_s", self.offset_s + self.cycle_s)
+
+    # ------------------------------------------------------------------
+    # Derived parameters
+    # ------------------------------------------------------------------
+    @property
+    def green_s(self) -> float:
+        """Green duration = cycle − red."""
+        return self.cycle_s - self.red_s
+
+    @property
+    def green_to_red_in_cycle(self) -> float:
+        """In-cycle second at which green turns red (start of red)."""
+        return float(wrap_mod(self.offset_s, self.cycle_s))
+
+    @property
+    def red_to_green_in_cycle(self) -> float:
+        """In-cycle second at which red turns green (end of red)."""
+        return float(wrap_mod(self.offset_s + self.red_s, self.cycle_s))
+
+    # ------------------------------------------------------------------
+    # Phase queries (vectorized over t)
+    # ------------------------------------------------------------------
+    def time_in_cycle(self, t):
+        """Seconds into the current cycle at absolute time(s) ``t``,
+        measured from the start of red.  In ``[0, cycle_s)``."""
+        if type(t) is float or type(t) is int:
+            # fast scalar path: the 1 Hz simulator calls this per step,
+            # and numpy scalar dispatch costs ~25% of a whole sim run
+            r = (t - self.offset_s) % self.cycle_s
+            return r if r < self.cycle_s else 0.0
+        return wrap_mod(np.asarray(t, dtype=float) - self.offset_s, self.cycle_s)
+
+    def is_red(self, t):
+        """True where the light is red at absolute time(s) ``t``."""
+        return self.time_in_cycle(t) < self.red_s
+
+    def is_green(self, t):
+        """True where the light is green at absolute time(s) ``t``."""
+        red = self.is_red(t)
+        # `~` is only correct on boolean *arrays*; on a scalar-path
+        # Python bool it would bit-flip to -2/-1 (both truthy)
+        return not red if type(red) is bool else np.logical_not(red)
+
+    def phase(self, t: float) -> str:
+        """``Phase.RED`` or ``Phase.GREEN`` at scalar time ``t``."""
+        return Phase.RED if bool(self.is_red(t)) else Phase.GREEN
+
+    # ------------------------------------------------------------------
+    # Change-time queries
+    # ------------------------------------------------------------------
+    def next_change(self, t: float) -> Tuple[float, str]:
+        """Absolute time of the next signal change strictly after ``t``
+        and the phase that begins then.
+
+        Returns
+        -------
+        (time, new_phase):
+            ``new_phase`` is :data:`Phase.GREEN` if red ends at ``time``,
+            else :data:`Phase.RED`.
+        """
+        local = float(self.time_in_cycle(t))
+        if local < self.red_s:
+            return t + (self.red_s - local), Phase.GREEN
+        return t + (self.cycle_s - local), Phase.RED
+
+    def wait_if_arriving(self, t: float) -> float:
+        """Red waiting time for a vehicle reaching the stop line at ``t``.
+
+        Zero when green; otherwise the remaining red time.  This is the
+        quantity the navigation application (§VIII.B) adds to link
+        travel times.
+        """
+        local = float(self.time_in_cycle(t))
+        return self.red_s - local if local < self.red_s else 0.0
+
+    def red_intervals(self, t0: float, t1: float):
+        """All red intervals ``[start, end)`` overlapping ``[t0, t1)``.
+
+        Returned as an ``(n, 2)`` float array, clipped to the window.
+        Useful for plotting ground truth (Figs. 10, 11, 13).
+        """
+        if t1 <= t0:
+            return np.empty((0, 2))
+        k0 = int(np.floor((t0 - self.offset_s) / self.cycle_s))
+        k1 = int(np.ceil((t1 - self.offset_s) / self.cycle_s))
+        starts = self.offset_s + np.arange(k0, k1 + 1) * self.cycle_s
+        ends = starts + self.red_s
+        keep = (ends > t0) & (starts < t1)
+        starts, ends = starts[keep], ends[keep]
+        return np.column_stack([np.maximum(starts, t0), np.minimum(ends, t1)])
+
+    def shifted(self, dt: float) -> "LightSchedule":
+        """A copy whose offset is shifted by ``dt`` seconds."""
+        return LightSchedule(self.cycle_s, self.red_s, self.offset_s + dt)
+
+    def complement(self) -> "LightSchedule":
+        """The perpendicular approach's schedule at the same intersection.
+
+        Green exactly while this light is red and vice versa (yellow and
+        all-red clearance folded into red, per the paper's convention).
+        Shares the cycle length — the fact §V.B's enhancement exploits.
+        """
+        return LightSchedule(
+            cycle_s=self.cycle_s,
+            red_s=self.green_s,
+            offset_s=self.offset_s + self.red_s,
+        )
+
+    def describes_same_signal(self, other: "LightSchedule", tol_s: float = 1e-6) -> bool:
+        """Whether two parameterizations describe the same physical signal
+        (equal cycles/reds and offsets congruent modulo the cycle)."""
+        if abs(self.cycle_s - other.cycle_s) > tol_s:
+            return False
+        if abs(self.red_s - other.red_s) > tol_s:
+            return False
+        d = wrap_mod(self.offset_s - other.offset_s, self.cycle_s)
+        return bool(min(d, self.cycle_s - d) <= tol_s)

@@ -1,0 +1,13 @@
+"""Preprocessing (§IV): map matching and per-light data partitioning."""
+
+from .mapmatch import MatchConfig, MatchResult, match_trace
+from .partition import LightKey, LightPartition, partition_by_light
+
+__all__ = [
+    "MatchConfig",
+    "MatchResult",
+    "match_trace",
+    "LightKey",
+    "LightPartition",
+    "partition_by_light",
+]

@@ -1,0 +1,134 @@
+"""Map matching (§IV, Fig. 5).
+
+The paper deliberately uses a *simple* matcher — full low-sampling-rate
+trajectory matching (Lou et al.) is out of scope — relying on only the
+current position and driving direction:
+
+1. candidate segments are ranked by perpendicular distance;
+2. the nearest segment wins **unless** the taxi's heading conflicts
+   with the segment's orientation, in which case the next-nearest
+   segment with a compatible orientation is used (the ``v2 → m2`` not
+   ``m2'`` case in Fig. 5);
+3. fixes farther than ``max_distance_m`` from every compatible segment
+   stay unmatched.
+
+Implementation is chunked-vectorized: a (records × segments) distance
+matrix per chunk, with heading-incompatible entries masked to ∞.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .._util import check_positive
+from ..network.geometry import heading_difference, point_segment_distance
+from ..network.roadnet import RoadNetwork
+from ..trace.records import TraceArrays
+
+__all__ = ["MatchConfig", "MatchResult", "match_trace"]
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """Matcher parameters.
+
+    Parameters
+    ----------
+    max_distance_m:
+        Fixes farther than this from every compatible segment are
+        unmatched (paper cites urban GPS errors up to ~100 m).
+    max_heading_diff_deg:
+        Heading compatibility threshold between the report's heading
+        and the segment's travel direction.
+    chunk_size:
+        Records per vectorized block (memory/speed trade-off).
+    require_gps_ok:
+        Drop reports whose GPS-condition flag (Table I field 8) is 0
+        before matching — the paper's outlier filter.
+    """
+
+    max_distance_m: float = 120.0
+    max_heading_diff_deg: float = 60.0
+    chunk_size: int = 8192
+    require_gps_ok: bool = True
+
+    def __post_init__(self) -> None:
+        check_positive("max_distance_m", self.max_distance_m)
+        check_positive("max_heading_diff_deg", self.max_heading_diff_deg)
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+
+@dataclass
+class MatchResult:
+    """Output of :func:`match_trace`.
+
+    Attributes
+    ----------
+    trace:
+        The (possibly GPS-filtered) trace that was matched, in the same
+        row order as ``segment_id``.
+    segment_id:
+        Matched directed-segment id per record, or −1 if unmatched.
+    distance_m:
+        Distance from the fix to its matched segment (NaN if unmatched).
+    """
+
+    trace: TraceArrays
+    segment_id: np.ndarray
+    distance_m: np.ndarray
+
+    @property
+    def matched_fraction(self) -> float:
+        """Share of records that found a segment."""
+        n = len(self.trace)
+        return float((self.segment_id >= 0).sum() / n) if n else float("nan")
+
+    def matched_only(self) -> Tuple[TraceArrays, np.ndarray]:
+        """(sub-trace, segment ids) restricted to matched records."""
+        keep = self.segment_id >= 0
+        return self.trace.subset(keep), self.segment_id[keep]
+
+
+def match_trace(
+    trace: TraceArrays,
+    net: RoadNetwork,
+    config: MatchConfig = MatchConfig(),
+) -> MatchResult:
+    """Match every report of *trace* onto *net* (Fig. 5 rules)."""
+    if config.require_gps_ok:
+        trace = trace.subset(trace.gps_ok)
+    n = len(trace)
+    n_seg = len(net.segments)
+    seg_ids = np.full(n, -1, dtype=np.int64)
+    dists = np.full(n, np.nan)
+    if n == 0 or n_seg == 0:
+        return MatchResult(trace, seg_ids, dists)
+
+    px, py = net.frame.to_local(trace.lon, trace.lat)
+    for lo in range(0, n, config.chunk_size):
+        hi = min(lo + config.chunk_size, n)
+        # (records, segments) distance matrix for this chunk.
+        d = point_segment_distance(
+            px[lo:hi, None],
+            py[lo:hi, None],
+            net.seg_ax[None, :],
+            net.seg_ay[None, :],
+            net.seg_bx[None, :],
+            net.seg_by[None, :],
+        )
+        hd = heading_difference(
+            trace.heading_deg[lo:hi, None], net.seg_heading[None, :]
+        )
+        # The heading-conflict rule: orientation-incompatible segments
+        # never win, regardless of proximity.
+        d = np.where(hd <= config.max_heading_diff_deg, d, np.inf)
+        best = np.argmin(d, axis=1)
+        best_d = d[np.arange(hi - lo), best]
+        ok = best_d <= config.max_distance_m
+        seg_ids[lo:hi][ok] = best[ok]
+        dists[lo:hi][ok] = best_d[ok]
+    return MatchResult(trace, seg_ids, dists)

@@ -1,0 +1,46 @@
+"""Navigation applications (§VIII.B and the intro's motivating uses):
+red-light-aware shortest-time routing on a simulated signalized grid
+(SUMO substitute) and a green-light speed advisory (GLOSA)."""
+
+from .advisory import SpeedAdvice, advise_speed, advisory_trial, green_windows
+
+from .experiment import (
+    DistanceBucket,
+    NavScenario,
+    make_random_signals,
+    run_navigation_experiment,
+)
+from .router import (
+    EnumerationRouter,
+    EstimatedProvider,
+    GroundTruthProvider,
+    ScheduleProvider,
+    ZeroWaitProvider,
+    navigate,
+    shortest_drive_path,
+    time_dependent_dijkstra,
+)
+from .simulator import LegRecord, TravelConfig, TripResult, TripSimulator
+
+__all__ = [
+    "SpeedAdvice",
+    "advise_speed",
+    "advisory_trial",
+    "green_windows",
+    "DistanceBucket",
+    "NavScenario",
+    "make_random_signals",
+    "run_navigation_experiment",
+    "EnumerationRouter",
+    "EstimatedProvider",
+    "GroundTruthProvider",
+    "ScheduleProvider",
+    "ZeroWaitProvider",
+    "navigate",
+    "shortest_drive_path",
+    "time_dependent_dijkstra",
+    "LegRecord",
+    "TravelConfig",
+    "TripResult",
+    "TripSimulator",
+]

@@ -1,0 +1,51 @@
+"""Road-network substrate: geometry frames, intersections, segments.
+
+Substitutes for the paper's OpenStreetMap layer.  See
+:mod:`repro.network.geometry` for coordinate conventions and
+:mod:`repro.network.roadnet` for the network model and grid builder.
+"""
+
+from .geometry import (
+    EARTH_RADIUS_M,
+    SHENZHEN_ORIGIN,
+    LocalFrame,
+    heading_difference,
+    heading_of_vector,
+    point_segment_distance,
+    project_onto_segment,
+    unit_vector_of_heading,
+)
+from .osm import DRIVABLE_HIGHWAYS, parse_osm
+from .roadnet import Approach, Intersection, RoadNetwork, Segment, grid_network
+from .serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    plans_from_dict,
+    plans_to_dict,
+    save_network,
+)
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "SHENZHEN_ORIGIN",
+    "LocalFrame",
+    "heading_difference",
+    "heading_of_vector",
+    "point_segment_distance",
+    "project_onto_segment",
+    "unit_vector_of_heading",
+    "Approach",
+    "Intersection",
+    "RoadNetwork",
+    "Segment",
+    "DRIVABLE_HIGHWAYS",
+    "parse_osm",
+    "grid_network",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "plans_from_dict",
+    "plans_to_dict",
+    "save_network",
+]

@@ -1,0 +1,150 @@
+"""JSON serialization of road networks and signal plans.
+
+Lets a scenario built once (e.g. from survey data or an OSM extract) be
+saved and shared: the network's geometry, the geographic frame, and
+optionally the per-intersection :class:`~repro.lights.intersection.SignalPlan`
+lists that define ground truth.  The format is plain JSON — stable,
+diff-able, and readable by non-Python consumers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from typing import TYPE_CHECKING
+
+from .geometry import LocalFrame
+from .roadnet import Intersection, RoadNetwork, Segment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..lights.intersection import SignalPlan
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "plans_to_dict",
+    "plans_from_dict",
+    "save_network",
+    "load_network",
+]
+
+FORMAT_VERSION = 1
+
+
+def network_to_dict(net: RoadNetwork) -> dict:
+    """Serialize a network to a JSON-compatible dict."""
+    return {
+        "format": "repro-roadnet",
+        "version": FORMAT_VERSION,
+        "frame": {
+            "origin_lon": net.frame.origin_lon,
+            "origin_lat": net.frame.origin_lat,
+        },
+        "intersections": [
+            {
+                "id": n.id,
+                "x": n.x,
+                "y": n.y,
+                "signalized": n.signalized,
+                "name": n.name,
+            }
+            for n in net.intersections
+        ],
+        "segments": [
+            {
+                "id": s.id,
+                "from": s.from_id,
+                "to": s.to_id,
+                "ax": s.ax,
+                "ay": s.ay,
+                "bx": s.bx,
+                "by": s.by,
+                "name": s.name,
+            }
+            for s in net.segments
+        ],
+    }
+
+
+def network_from_dict(data: dict) -> RoadNetwork:
+    """Inverse of :func:`network_to_dict` (validates format/version)."""
+    if data.get("format") != "repro-roadnet":
+        raise ValueError(f"not a repro road network: format={data.get('format')!r}")
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {data.get('version')!r}")
+    frame = LocalFrame(
+        origin_lon=data["frame"]["origin_lon"],
+        origin_lat=data["frame"]["origin_lat"],
+    )
+    intersections = [
+        Intersection(
+            id=n["id"], x=n["x"], y=n["y"],
+            signalized=n["signalized"], name=n.get("name", ""),
+        )
+        for n in data["intersections"]
+    ]
+    segments = [
+        Segment(
+            id=s["id"], from_id=s["from"], to_id=s["to"],
+            ax=s["ax"], ay=s["ay"], bx=s["bx"], by=s["by"],
+            name=s.get("name", ""),
+        )
+        for s in data["segments"]
+    ]
+    return RoadNetwork(intersections, segments, frame=frame)
+
+
+def plans_to_dict(plans: Dict[int, List["SignalPlan"]]) -> dict:
+    """Serialize ground-truth signal plans keyed by intersection id."""
+    return {
+        str(iid): [
+            {
+                "cycle_s": p.cycle_s,
+                "ns_red_s": p.ns_red_s,
+                "offset_s": p.offset_s,
+                "start_second_of_day": p.start_second_of_day,
+            }
+            for p in plan_list
+        ]
+        for iid, plan_list in plans.items()
+    }
+
+
+def plans_from_dict(data: dict) -> Dict[int, List["SignalPlan"]]:
+    """Inverse of :func:`plans_to_dict`."""
+    # deferred import: repro.lights depends on repro.network, not vice versa
+    from ..lights.intersection import SignalPlan
+
+    return {
+        int(iid): [
+            SignalPlan(
+                cycle_s=p["cycle_s"],
+                ns_red_s=p["ns_red_s"],
+                offset_s=p.get("offset_s", 0.0),
+                start_second_of_day=p.get("start_second_of_day", 0.0),
+            )
+            for p in plan_list
+        ]
+        for iid, plan_list in data.items()
+    }
+
+
+def save_network(
+    net: RoadNetwork,
+    fp: TextIO,
+    plans: Optional[Dict[int, List["SignalPlan"]]] = None,
+) -> None:
+    """Write a network (and optional plans) as JSON to an open file."""
+    doc = network_to_dict(net)
+    if plans is not None:
+        doc["signal_plans"] = plans_to_dict(plans)
+    json.dump(doc, fp, indent=1)
+
+
+def load_network(fp: TextIO) -> Tuple[RoadNetwork, Optional[Dict[int, List["SignalPlan"]]]]:
+    """Read a network (and plans, when present) from an open JSON file."""
+    doc = json.load(fp)
+    net = network_from_dict(doc)
+    plans = plans_from_dict(doc["signal_plans"]) if "signal_plans" in doc else None
+    return net, plans

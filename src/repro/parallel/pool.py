@@ -1,0 +1,130 @@
+"""Process-pool fan-out helpers.
+
+The paper notes that after partitioning by nearest traffic light, "the
+traffic light scheduling identification algorithm for different traffic
+lights can be easily paralleled".  This module is that layer: a chunked,
+deterministically-seeded ``pmap`` over processes, following the HPC
+guide idioms (vectorized inner loops, process-level outer parallelism,
+and measurement before optimization).
+
+Workers receive picklable ``(func, item)`` pairs; per-item seeds are
+derived with :func:`repro._util.seed_sequence_for` so results are
+reproducible regardless of scheduling order or worker count.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import seed_sequence_for
+
+__all__ = ["pmap", "pmap_seeded", "default_workers"]
+
+
+def default_workers(max_workers: Optional[int] = None) -> int:
+    """Worker count: ``max_workers`` if given, else ``cpu_count`` capped at 8.
+
+    The cap keeps test/bench runs polite on shared machines while still
+    exercising real multi-process execution.
+    """
+    if max_workers is not None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        return max_workers
+    return min(os.cpu_count() or 1, 8)
+
+
+def _chunks(items: Sequence, n_chunks: int) -> List[Sequence]:
+    """Split *items* into at most *n_chunks* contiguous, balanced runs."""
+    n = len(items)
+    n_chunks = max(1, min(n_chunks, n))
+    bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+    return [items[bounds[i]:bounds[i + 1]] for i in range(n_chunks) if bounds[i] < bounds[i + 1]]
+
+
+def _apply_chunk(func: Callable, chunk: Sequence) -> List:
+    return [func(item) for item in chunk]
+
+
+def _apply_chunk_seeded(
+    func: Callable, chunk: Sequence[Tuple[int, Any]], base_seed: int
+) -> List:
+    out = []
+    for index, item in chunk:
+        rng = np.random.default_rng(seed_sequence_for(base_seed, index))
+        out.append(func(item, rng))
+    return out
+
+
+def pmap(
+    func: Callable[[Any], Any],
+    items: Sequence,
+    *,
+    max_workers: Optional[int] = None,
+    chunks_per_worker: int = 4,
+    serial: bool = False,
+) -> List:
+    """Parallel ``[func(x) for x in items]`` preserving order.
+
+    Parameters
+    ----------
+    func:
+        Picklable callable (top-level function or functools.partial).
+    items:
+        Work items; results come back in the same order.
+    max_workers:
+        Process count (default: capped cpu count).
+    chunks_per_worker:
+        Over-decomposition factor for load balance on skewed items
+        (e.g. the 25× record-count imbalance of Table II).
+    serial:
+        Run in-process (debugging, or when *items* is tiny).
+    """
+    items = list(items)
+    if not items:
+        return []
+    workers = default_workers(max_workers)
+    if serial or workers == 1 or len(items) == 1:
+        return [func(x) for x in items]
+    chunks = _chunks(items, workers * chunks_per_worker)
+    results: List[List] = []
+    with ProcessPoolExecutor(max_workers=workers) as ex:
+        for part in ex.map(_apply_chunk, [func] * len(chunks), chunks):
+            results.append(part)
+    return [y for part in results for y in part]
+
+
+def pmap_seeded(
+    func: Callable[[Any, np.random.Generator], Any],
+    items: Sequence,
+    base_seed: int,
+    *,
+    max_workers: Optional[int] = None,
+    chunks_per_worker: int = 4,
+    serial: bool = False,
+) -> List:
+    """Like :func:`pmap` but passes each call an independent RNG.
+
+    ``func(item, rng)`` receives a generator seeded from
+    ``(base_seed, item_index)`` — bitwise-identical results whether run
+    serially or across any number of processes.
+    """
+    items = list(items)
+    if not items:
+        return []
+    indexed = list(enumerate(items))
+    workers = default_workers(max_workers)
+    if serial or workers == 1 or len(items) == 1:
+        return _apply_chunk_seeded(func, indexed, base_seed)
+    chunks = _chunks(indexed, workers * chunks_per_worker)
+    results: List[List] = []
+    with ProcessPoolExecutor(max_workers=workers) as ex:
+        for part in ex.map(
+            _apply_chunk_seeded, [func] * len(chunks), chunks, [base_seed] * len(chunks)
+        ):
+            results.append(part)
+    return [y for part in results for y in part]

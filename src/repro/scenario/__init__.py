@@ -1,0 +1,13 @@
+"""Canned scenarios: the Table II Shenzhen-like city and fast test grids."""
+
+from .shenzhen import TABLE2, ShenzhenScenario, Table2Row, shenzhen_scenario
+from .small import SmallScenario, small_scenario
+
+__all__ = [
+    "TABLE2",
+    "ShenzhenScenario",
+    "Table2Row",
+    "shenzhen_scenario",
+    "SmallScenario",
+    "small_scenario",
+]

@@ -1,0 +1,29 @@
+"""Traffic microsimulator substrate.
+
+Generates ground-truth vehicle motion at signalized approaches so the
+taxi-trace layer can sample it the way Shenzhen's fleet samples reality.
+"""
+
+from .arrivals import DAY_PROFILE_SHENZHEN, PoissonArrivals, TimeVaryingArrivals
+from .corridor import CorridorResult, CorridorSpec, build_corridor, simulate_corridor
+from .engine import ApproachSpec, CitySimulation, SimulationResult
+from .queueing import ApproachConfig, SignalizedApproachSim
+from .vehicle import DwellPlan, VehicleParams, VehicleTrack
+
+__all__ = [
+    "DAY_PROFILE_SHENZHEN",
+    "PoissonArrivals",
+    "TimeVaryingArrivals",
+    "CorridorResult",
+    "CorridorSpec",
+    "build_corridor",
+    "simulate_corridor",
+    "ApproachSpec",
+    "CitySimulation",
+    "SimulationResult",
+    "ApproachConfig",
+    "SignalizedApproachSim",
+    "DwellPlan",
+    "VehicleParams",
+    "VehicleTrack",
+]

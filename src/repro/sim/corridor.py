@@ -1,0 +1,259 @@
+"""Arterial corridor simulation: vehicles traversing many lights.
+
+The city driver (:mod:`repro.sim.engine`) simulates approaches
+independently — enough for per-light identification, but real taxis
+traverse *sequences* of intersections, which is what makes corridor
+analyses (green-wave progression, §IX-adjacent applications) and
+multi-segment trace statistics possible.
+
+This module chains single-approach simulations along a one-way
+arterial: the vehicles exiting light *i* become, in order, the arrivals
+of approach *i+1* (FIFO is preserved because the lane model forbids
+overtaking).  Each vehicle keeps its identity across the whole journey,
+so the trace generator can emit one continuous taxi trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .._util import RngLike, as_rng, check_positive
+from ..lights.intersection import (
+    IntersectionSignals,
+    SignalPlan,
+    attach_signals_to_network,
+)
+from ..network.geometry import LocalFrame
+from ..network.roadnet import Intersection, RoadNetwork, Segment
+from .arrivals import PoissonArrivals
+from .queueing import ApproachConfig, SignalizedApproachSim
+from .vehicle import VehicleParams, VehicleTrack
+
+__all__ = ["CorridorSpec", "CorridorResult", "build_corridor", "simulate_corridor"]
+
+
+@dataclass(frozen=True)
+class _FixedArrivals:
+    """Arrival process replaying explicit times (the upstream exits)."""
+
+    times: Tuple[float, ...]
+
+    def sample(self, t0: float, t1: float, rng=None) -> np.ndarray:
+        t = np.asarray(self.times, dtype=float)
+        return np.sort(t[(t >= t0) & (t < t1)])
+
+    def mean_rate(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        return self.sample(t0, t1).size / ((t1 - t0) / 3600.0)
+
+
+@dataclass(frozen=True)
+class CorridorSpec:
+    """Parameters of a one-way signalized arterial.
+
+    Parameters
+    ----------
+    n_lights:
+        Number of signalized intersections along the corridor.
+    segment_length_m:
+        Length of each approach.
+    entry_rate_per_hour:
+        Poisson demand entering at the upstream end.
+    cycle_s, red_s:
+        Shared signal timing (coordinated arterials share a cycle).
+    offsets_s:
+        Per-light red-start offsets.  ``None`` builds a green wave: each
+        light's schedule lags its upstream neighbour by the free-flow
+        travel time.
+    params:
+        Driver population.
+    """
+
+    n_lights: int = 5
+    segment_length_m: float = 500.0
+    entry_rate_per_hour: float = 400.0
+    cycle_s: float = 100.0
+    red_s: float = 45.0
+    offsets_s: Optional[Tuple[float, ...]] = None
+    params: VehicleParams = field(default_factory=VehicleParams)
+
+    def __post_init__(self) -> None:
+        if self.n_lights < 1:
+            raise ValueError("n_lights must be >= 1")
+        check_positive("segment_length_m", self.segment_length_m)
+        check_positive("cycle_s", self.cycle_s)
+        if not 0 < self.red_s < self.cycle_s:
+            raise ValueError("red_s must lie strictly inside the cycle")
+        if self.offsets_s is not None and len(self.offsets_s) != self.n_lights:
+            raise ValueError(
+                f"offsets_s needs {self.n_lights} entries, got {len(self.offsets_s)}"
+            )
+
+    def green_wave_offsets(self) -> Tuple[float, ...]:
+        """Offsets giving perfect progression at the free-flow speed."""
+        tt = self.segment_length_m / self.params.free_speed_mps
+        return tuple(i * tt for i in range(self.n_lights))
+
+    def resolved_offsets(self) -> Tuple[float, ...]:
+        return self.offsets_s if self.offsets_s is not None else self.green_wave_offsets()
+
+
+@dataclass
+class CorridorResult:
+    """Output of :func:`simulate_corridor`.
+
+    Attributes
+    ----------
+    net, signals, plans:
+        The corridor's network and ground truth.
+    journeys:
+        One entry per vehicle: its ordered per-segment tracks, all
+        carrying the same ``vehicle_id``.
+    """
+
+    net: RoadNetwork
+    signals: Dict[int, IntersectionSignals]
+    plans: Dict[int, List[SignalPlan]]
+    journeys: List[List[VehicleTrack]]
+
+    def tracks_by_segment(self) -> Dict[int, List[VehicleTrack]]:
+        """Regroup journey legs per segment (engine-compatible view)."""
+        out: Dict[int, List[VehicleTrack]] = {}
+        for legs in self.journeys:
+            for tr in legs:
+                out.setdefault(tr.segment_id, []).append(tr)
+        for lst in out.values():
+            lst.sort(key=lambda tr: tr.entered_at)
+        return out
+
+    def corridor_travel_times(self) -> np.ndarray:
+        """End-to-end travel time of every completed journey."""
+        out = []
+        for legs in self.journeys:
+            if len(legs) == self.n_complete_legs():
+                out.append(legs[-1].exited_at - legs[0].entered_at)
+        return np.asarray(out)
+
+    def n_complete_legs(self) -> int:
+        return max((len(legs) for legs in self.journeys), default=0)
+
+
+def build_corridor(
+    spec: CorridorSpec, frame: Optional[LocalFrame] = None
+) -> Tuple[RoadNetwork, Dict[int, List[SignalPlan]]]:
+    """A west→east arterial: N signalized nodes plus entry/exit feeders.
+
+    Intersection ids ``0..N-1`` are the lights (west to east); segment
+    ``i`` is the eastbound approach into light ``i``.
+    """
+    L = spec.segment_length_m
+    intersections: List[Intersection] = [
+        Intersection(id=i, x=(i + 1) * L, y=0.0, signalized=True, name=f"L{i}")
+        for i in range(spec.n_lights)
+    ]
+    entry = Intersection(
+        id=spec.n_lights, x=0.0, y=0.0, signalized=False, name="entry"
+    )
+    exit_node = Intersection(
+        id=spec.n_lights + 1, x=(spec.n_lights + 1) * L, y=0.0,
+        signalized=False, name="exit",
+    )
+    intersections += [entry, exit_node]
+
+    segments: List[Segment] = []
+    prev = entry
+    for i in range(spec.n_lights):
+        node = intersections[i]
+        segments.append(
+            Segment(
+                id=i, from_id=prev.id, to_id=node.id,
+                ax=prev.x, ay=prev.y, bx=node.x, by=node.y,
+                name=f"approach L{i}",
+            )
+        )
+        prev = node
+    segments.append(
+        Segment(
+            id=spec.n_lights, from_id=prev.id, to_id=exit_node.id,
+            ax=prev.x, ay=prev.y, bx=exit_node.x, by=exit_node.y,
+            name="exit leg",
+        )
+    )
+    net = RoadNetwork(intersections, segments, frame=frame or LocalFrame())
+
+    offsets = spec.resolved_offsets()
+    plans = {
+        i: [SignalPlan(spec.cycle_s, spec.cycle_s - spec.red_s, offsets[i])]
+        for i in range(spec.n_lights)
+    }
+    # Eastbound approaches are EW segments; SignalPlan's ns_red is the
+    # NS group's red, so the EW group (our corridor) sees `spec.red_s`.
+    return net, plans
+
+
+def simulate_corridor(
+    spec: CorridorSpec,
+    t0: float,
+    t1: float,
+    *,
+    seed: RngLike = 0,
+    config: Optional[ApproachConfig] = None,
+) -> CorridorResult:
+    """Simulate the corridor over ``[t0, t1)``.
+
+    Vehicles enter at the west end and traverse every light in order;
+    the journey list preserves vehicle identity across segments.
+    """
+    rng = as_rng(seed)
+    net, plans = build_corridor(spec)
+    signals = attach_signals_to_network(net, plans)
+    base_cfg = config or ApproachConfig(segment_length_m=spec.segment_length_m)
+    cfg = ApproachConfig(
+        segment_length_m=min(base_cfg.segment_length_m, spec.segment_length_m),
+        taxi_fraction=1.0,            # journey-level taxi-ness is decided later
+        dwell_probability=base_cfg.dwell_probability,
+        dwell_duration_range_s=base_cfg.dwell_duration_range_s,
+        record_all_vehicles=True,
+        params=spec.params,
+    )
+
+    arrivals = PoissonArrivals(spec.entry_rate_per_hour)
+    journeys: List[List[VehicleTrack]] = []
+    # maps the current approach's track index -> journey index
+    track_to_journey: List[int] = []
+    upstream_exits: Optional[List[float]] = None
+
+    for i in range(spec.n_lights):
+        seg = net.segments[i]
+        controller = signals[i].controller_for_segment(seg)
+        proc = (
+            arrivals if upstream_exits is None
+            else _FixedArrivals(tuple(upstream_exits))
+        )
+        sim = SignalizedApproachSim(controller, proc, cfg, segment_id=i)
+        tracks = sim.run(t0, t1, rng=rng)  # sorted by entry time
+
+        if i == 0:
+            journeys = [[tr] for tr in tracks]
+            track_to_journey = list(range(len(tracks)))
+        else:
+            # arrival order == spawn order == entry order (FIFO lane),
+            # so this approach's j-th track extends the journey that
+            # produced the j-th upstream exit
+            for j, tr in enumerate(tracks):
+                journeys[track_to_journey[j]].append(tr)
+
+        # completers, in exit order, feed the next approach
+        completed = [
+            (k, tr) for k, tr in enumerate(tracks)
+            if tr.dist_to_stopline_m[-1] <= 0.5 and tr.exited_at < t1 - 1.0
+        ]
+        completed.sort(key=lambda kt: kt[1].exited_at)
+        upstream_exits = [tr.exited_at for _, tr in completed]
+        track_to_journey = [track_to_journey[k] for k, _ in completed]
+
+    return CorridorResult(net=net, signals=signals, plans=plans, journeys=journeys)

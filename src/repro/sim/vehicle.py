@@ -1,0 +1,137 @@
+"""Vehicle state and recorded tracks for the microsimulator.
+
+The simulator's unit of output is a :class:`VehicleTrack`: the exact
+1 Hz motion of one (taxi) vehicle along one approach segment.  The taxi
+fleet layer later *samples* these tracks at each taxi's low reporting
+frequency and adds GPS noise — reproducing the paper's raw-trace
+properties from ground-truth motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .._util import RngLike, as_rng, check_nonnegative, check_positive
+
+__all__ = ["DwellPlan", "VehicleParams", "VehicleTrack"]
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Driver/vehicle population parameters (single lane, FIFO).
+
+    Defaults produce urban-arterial behaviour consistent with the
+    paper's Fig. 2: free speeds around 40 km/h, ≈ 2 s discharge
+    headways, 7 m jam spacing.
+    """
+
+    free_speed_mps: float = 11.0       # ~40 km/h mean desired speed
+    free_speed_sd: float = 2.0         # desired-speed spread across drivers
+    min_speed_mps: float = 4.0         # floor for sampled desired speed
+    accel_mps2: float = 2.0            # max acceleration
+    jam_gap_m: float = 7.0             # bumper-to-bumper spacing in queue
+
+    def __post_init__(self) -> None:
+        check_positive("free_speed_mps", self.free_speed_mps)
+        check_nonnegative("free_speed_sd", self.free_speed_sd)
+        check_positive("min_speed_mps", self.min_speed_mps)
+        check_positive("accel_mps2", self.accel_mps2)
+        check_positive("jam_gap_m", self.jam_gap_m)
+
+    def sample_desired_speed(self, rng: RngLike = None) -> float:
+        """Draw one driver's desired speed (truncated normal)."""
+        rng = as_rng(rng)
+        return float(max(self.min_speed_mps, rng.normal(self.free_speed_mps, self.free_speed_sd)))
+
+
+@dataclass(frozen=True)
+class DwellPlan:
+    """A scheduled passenger pick-up/drop-off stop for a taxi.
+
+    The taxi halts when it first reaches ``at_distance_m`` from the stop
+    line, stays for ``duration_s``, and its passenger flag flips when
+    the dwell ends.  These curbside stops are the main error source the
+    paper's red-duration filters (§VI.A) must reject.
+    """
+
+    at_distance_m: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("at_distance_m", self.at_distance_m)
+        check_positive("duration_s", self.duration_s)
+
+
+@dataclass
+class VehicleTrack:
+    """Recorded 1 Hz motion of one vehicle on one approach segment.
+
+    Attributes
+    ----------
+    vehicle_id:
+        Unique id within the simulation run.
+    segment_id:
+        The directed segment travelled.
+    t:
+        Absolute times, seconds, strictly increasing at 1 s steps.
+    dist_to_stopline_m:
+        Distance remaining to the downstream stop line (≥ 0,
+        non-increasing except for float fuzz).
+    speed_mps:
+        Instantaneous speed.
+    passenger:
+        Occupancy flag per step (Table I field 11).
+    is_taxi:
+        Whether this vehicle reports GPS (only taxis reach the trace
+        generator; ambient cars still shape the queues).
+    """
+
+    vehicle_id: int
+    segment_id: int
+    t: np.ndarray
+    dist_to_stopline_m: np.ndarray
+    speed_mps: np.ndarray
+    passenger: np.ndarray
+    is_taxi: bool = True
+
+    def __post_init__(self) -> None:
+        n = len(self.t)
+        for name in ("dist_to_stopline_m", "speed_mps", "passenger"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"{name} length != t length")
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def entered_at(self) -> float:
+        """First recorded second."""
+        return float(self.t[0])
+
+    @property
+    def exited_at(self) -> float:
+        """Last recorded second (stop-line crossing, if completed)."""
+        return float(self.t[-1])
+
+    def stopped_mask(self, speed_eps: float = 0.15) -> np.ndarray:
+        """Boolean mask of seconds where the vehicle is (nearly) still."""
+        return self.speed_mps <= speed_eps
+
+    def stop_intervals(self, speed_eps: float = 0.15) -> List[Tuple[float, float]]:
+        """Maximal ``(start, end)`` stillness intervals, in seconds.
+
+        ``end`` is the last still second, so duration = ``end - start``.
+        """
+        mask = self.stopped_mask(speed_eps)
+        if not mask.any():
+            return []
+        edges = np.flatnonzero(np.diff(mask.astype(np.int8)))
+        starts = [0] if mask[0] else []
+        starts += [int(i) + 1 for i in edges if not mask[i] and mask[i + 1]]
+        ends = [int(i) for i in edges if mask[i] and not mask[i + 1]]
+        if mask[-1]:
+            ends.append(len(mask) - 1)
+        return [(float(self.t[s]), float(self.t[e])) for s, e in zip(starts, ends)]

@@ -1,0 +1,51 @@
+"""Taxi-trace substrate: Table I records, fleet sampling, GPS noise,
+trace statistics (Fig. 2), and the raw-text wire format."""
+
+from .fleet import DEFAULT_INTERVAL_MIXTURE, ReportingPolicy, sample_report_times
+from .generator import OVERSPEED_KMH, TraceGenerator
+from .gps import GPSErrorModel
+from .io import (
+    BASE_DATE,
+    format_record,
+    parse_record,
+    read_trace,
+    seconds_to_timestamp,
+    timestamp_to_seconds,
+    write_trace,
+)
+from .records import BODY_COLORS, TaxiRecord, TraceArrays, plate_of, sim_card_of
+from .stats import (
+    STATIONARY_DISTANCE_M,
+    ConsecutivePairs,
+    TraceStatistics,
+    compute_statistics,
+    consecutive_pairs,
+    records_per_slot,
+)
+
+__all__ = [
+    "DEFAULT_INTERVAL_MIXTURE",
+    "ReportingPolicy",
+    "sample_report_times",
+    "OVERSPEED_KMH",
+    "TraceGenerator",
+    "GPSErrorModel",
+    "BASE_DATE",
+    "format_record",
+    "parse_record",
+    "read_trace",
+    "seconds_to_timestamp",
+    "timestamp_to_seconds",
+    "write_trace",
+    "BODY_COLORS",
+    "TaxiRecord",
+    "TraceArrays",
+    "plate_of",
+    "sim_card_of",
+    "STATIONARY_DISTANCE_M",
+    "ConsecutivePairs",
+    "TraceStatistics",
+    "compute_statistics",
+    "consecutive_pairs",
+    "records_per_slot",
+]

@@ -1,0 +1,107 @@
+"""Per-taxi reporting behaviour.
+
+Each Shenzhen taxi uploads at its *own fixed frequency* — Fig. 2(b)
+shows distinct peaks at 15 s, 30 s and 60 s, a ~20 s mean, and a long
+tail the paper attributes to packet loss and network delay.  This
+module reproduces that: a taxi draws an interval from the empirical
+mixture once, then reports on that grid (with jitter), with reports
+occasionally lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from .._util import RngLike, as_rng, check_in_range, check_nonnegative
+
+__all__ = ["ReportingPolicy", "sample_report_times"]
+
+#: Empirical update-interval mixture (seconds → probability), chosen so
+#: the generated traces land near the paper's *measured* mean update
+#: interval of 20.41 s with visible 15/30/60 s peaks.  Note the measured
+#: mean is over consecutive-report pairs, which weights a taxi by its
+#: report count (∝ 1/interval): the pair-weighted mean of this mixture
+#: is ≈ 19.6 s even though its plain mean is ≈ 28.6 s.
+DEFAULT_INTERVAL_MIXTURE: Tuple[Tuple[float, float], ...] = (
+    (5.0, 0.02),
+    (10.0, 0.10),
+    (15.0, 0.33),
+    (30.0, 0.35),
+    (60.0, 0.20),
+)
+
+
+@dataclass(frozen=True)
+class ReportingPolicy:
+    """Fleet-wide reporting parameters.
+
+    Parameters
+    ----------
+    interval_mixture:
+        ``((interval_s, probability), ...)``; probabilities must sum
+        to 1.
+    packet_loss_prob:
+        Probability each report is silently dropped in the cellular
+        uplink (creates the Fig. 2(b) long tail: gaps of 2×, 3×… the
+        base interval).
+    jitter_sd_s:
+        Gaussian jitter on each report's timestamp (network delay).
+    """
+
+    interval_mixture: Tuple[Tuple[float, float], ...] = DEFAULT_INTERVAL_MIXTURE
+    packet_loss_prob: float = 0.05
+    jitter_sd_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        total = sum(p for _, p in self.interval_mixture)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"interval mixture probabilities sum to {total}, expected 1")
+        for iv, p in self.interval_mixture:
+            if iv <= 0:
+                raise ValueError(f"interval {iv} must be positive")
+            check_in_range("mixture probability", p, 0.0, 1.0)
+        check_in_range("packet_loss_prob", self.packet_loss_prob, 0.0, 1.0)
+        check_nonnegative("jitter_sd_s", self.jitter_sd_s)
+
+    @property
+    def mean_interval_s(self) -> float:
+        """Mean of the base interval mixture (before loss)."""
+        return float(sum(iv * p for iv, p in self.interval_mixture))
+
+    def sample_interval(self, rng: RngLike = None) -> float:
+        """Draw one taxi's fixed update interval."""
+        rng = as_rng(rng)
+        intervals = np.array([iv for iv, _ in self.interval_mixture])
+        probs = np.array([p for _, p in self.interval_mixture])
+        return float(rng.choice(intervals, p=probs))
+
+
+def sample_report_times(
+    policy: ReportingPolicy,
+    interval_s: float,
+    t_start: float,
+    t_end: float,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Report timestamps for one taxi observed on ``[t_start, t_end]``.
+
+    The taxi's report grid has a uniformly-random phase (taxis don't
+    synchronize), each report is dropped with ``packet_loss_prob`` and
+    jittered by network delay.  Returns a sorted array (possibly empty).
+    """
+    rng = as_rng(rng)
+    if t_end < t_start:
+        return np.empty(0)
+    phase = rng.uniform(0.0, interval_s)
+    ticks = np.arange(t_start + phase, t_end + 1e-9, interval_s)
+    if ticks.size == 0:
+        return ticks
+    kept = rng.uniform(size=ticks.size) >= policy.packet_loss_prob
+    ticks = ticks[kept]
+    if policy.jitter_sd_s > 0 and ticks.size:
+        ticks = ticks + rng.normal(0.0, policy.jitter_sd_s, size=ticks.size)
+        ticks = np.sort(np.clip(ticks, t_start, t_end))
+    return ticks

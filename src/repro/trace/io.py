@@ -1,0 +1,117 @@
+"""Raw-text serialization of taxi reports in the Table I wire format.
+
+One comma-separated line per report, fields in Table I order:
+
+``plate,lon_e6,lat_e6,YYYY-MM-DD HH:mm:ss,device,speed,heading,gps,overspeed,sim,passenger,color``
+
+Longitude/latitude are integers scaled by 1e6 (Table I rows 2-3); the
+report time renders absolute simulation seconds against a base date.
+The parser is the exact inverse up to the 1e-6° quantization and 1 s
+time resolution of the wire format.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterable, List, TextIO, Union
+
+import numpy as np
+
+from .records import BODY_COLORS, TaxiRecord, TraceArrays, plate_of, sim_card_of
+
+__all__ = [
+    "BASE_DATE",
+    "format_record",
+    "parse_record",
+    "write_trace",
+    "read_trace",
+    "seconds_to_timestamp",
+    "timestamp_to_seconds",
+]
+
+#: Day 0 of simulation time; chosen to match the paper's ground-truth
+#: recording period (Dec 05, 2014).
+BASE_DATE = _dt.datetime(2014, 12, 5)
+
+
+def seconds_to_timestamp(t_s: float, base: _dt.datetime = BASE_DATE) -> str:
+    """Render absolute simulation seconds as ``YYYY-MM-DD HH:mm:ss``."""
+    return (base + _dt.timedelta(seconds=round(float(t_s)))).strftime("%Y-%m-%d %H:%M:%S")
+
+
+def timestamp_to_seconds(ts: str, base: _dt.datetime = BASE_DATE) -> float:
+    """Inverse of :func:`seconds_to_timestamp`."""
+    return (_dt.datetime.strptime(ts, "%Y-%m-%d %H:%M:%S") - base).total_seconds()
+
+
+def format_record(rec: TaxiRecord, base: _dt.datetime = BASE_DATE) -> str:
+    """Serialize one record to its Table I line."""
+    return ",".join(
+        [
+            rec.plate,
+            str(int(round(rec.longitude * 1_000_000))),
+            str(int(round(rec.latitude * 1_000_000))),
+            seconds_to_timestamp(rec.time_s, base),
+            str(rec.device_id),
+            f"{rec.speed_kmh:.1f}",
+            f"{rec.heading_deg:.1f}",
+            "1" if rec.gps_ok else "0",
+            "1" if rec.overspeed else "0",
+            rec.sim_card,
+            "1" if rec.passenger else "0",
+            rec.color,
+        ]
+    )
+
+
+def parse_record(line: str, base: _dt.datetime = BASE_DATE) -> TaxiRecord:
+    """Parse one Table I line back into a :class:`TaxiRecord`."""
+    parts = line.rstrip("\n").split(",")
+    if len(parts) != 12:
+        raise ValueError(f"expected 12 fields, got {len(parts)}: {line!r}")
+    return TaxiRecord(
+        plate=parts[0],
+        longitude=int(parts[1]) / 1_000_000,
+        latitude=int(parts[2]) / 1_000_000,
+        time_s=timestamp_to_seconds(parts[3], base),
+        device_id=int(parts[4]),
+        speed_kmh=float(parts[5]),
+        heading_deg=float(parts[6]),
+        gps_ok=parts[7] == "1",
+        overspeed=parts[8] == "1",
+        sim_card=parts[9],
+        passenger=parts[10] == "1",
+        color=parts[11],
+    )
+
+
+def write_trace(
+    trace: Union[TraceArrays, Iterable[TaxiRecord]],
+    fp: TextIO,
+    base: _dt.datetime = BASE_DATE,
+) -> int:
+    """Write a trace to an open text file; returns lines written."""
+    records = trace.to_records() if isinstance(trace, TraceArrays) else trace
+    n = 0
+    for rec in records:
+        fp.write(format_record(rec, base))
+        fp.write("\n")
+        n += 1
+    return n
+
+
+def read_trace(fp: TextIO, base: _dt.datetime = BASE_DATE) -> TraceArrays:
+    """Read a Table I text trace into columnar storage.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number.
+    """
+    records: List[TaxiRecord] = []
+    for lineno, line in enumerate(fp, start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(parse_record(line, base))
+        except (ValueError, IndexError) as exc:
+            raise ValueError(f"line {lineno}: {exc}") from exc
+    return TraceArrays.from_records(records)

@@ -1,0 +1,219 @@
+"""Taxi-trace records in the paper's Table I format.
+
+Two representations:
+
+* :class:`TaxiRecord` — one report, all 12 fields, for readable code and
+  text I/O;
+* :class:`TraceArrays` — struct-of-arrays over many reports, the form
+  every algorithm consumes (vectorized filtering, sorting, and per-light
+  partitioning are O(1) views / fancy indexing, per the HPC guides).
+
+Times are absolute simulation seconds (``t=0`` is midnight of day 0);
+:mod:`repro.trace.io` renders them as the paper's ``YYYY-MM-DD HH:mm:ss``
+strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["TaxiRecord", "TraceArrays", "plate_of", "sim_card_of", "BODY_COLORS"]
+
+#: Taxi body colors observed in the Shenzhen fleet (Table I field 12).
+BODY_COLORS = ("red", "green", "blue", "yellow")
+
+
+def plate_of(taxi_id: int) -> str:
+    """Deterministic Shenzhen-style plate string for a taxi id."""
+    return f"粤B{taxi_id % 100000:05d}"
+
+
+def sim_card_of(taxi_id: int) -> str:
+    """Deterministic SIM card number for a taxi id (Table I field 10)."""
+    return f"1390000{taxi_id % 100000:05d}"
+
+
+@dataclass(frozen=True)
+class TaxiRecord:
+    """One taxi report — the 12 fields of Table I.
+
+    Only (id, time, longitude, latitude, speed) drive identification;
+    GPS condition, passenger condition and heading are used for outlier
+    filtering, exactly as in the paper.
+    """
+
+    plate: str                 # 1. car plate number
+    longitude: float           # 2. degrees (serialized ×1e6)
+    latitude: float            # 3. degrees (serialized ×1e6)
+    time_s: float              # 4. absolute seconds (serialized as datetime)
+    device_id: int             # 5. onboard device id
+    speed_kmh: float           # 6. driving speed, km/h
+    heading_deg: float         # 7. degrees clockwise from north
+    gps_ok: bool               # 8. GPS condition
+    overspeed: bool            # 9. overspeed warning
+    sim_card: str              # 10. SIM card number
+    passenger: bool            # 11. occupancy
+    color: str                 # 12. body color
+
+
+class TraceArrays:
+    """Columnar store of taxi reports.
+
+    All columns share one length; rows are independent reports.  The
+    class is deliberately *not* frozen — pipelines build it once and
+    pass around read-only views.
+
+    Parameters mirror :class:`TaxiRecord`, except the plate/SIM/color
+    strings are derived from ``taxi_id`` on demand.
+    """
+
+    COLUMNS = (
+        "taxi_id", "t", "lon", "lat", "speed_kmh",
+        "heading_deg", "device_id", "gps_ok", "overspeed", "passenger",
+    )
+
+    def __init__(
+        self,
+        taxi_id,
+        t,
+        lon,
+        lat,
+        speed_kmh,
+        heading_deg=None,
+        device_id=None,
+        gps_ok=None,
+        overspeed=None,
+        passenger=None,
+    ) -> None:
+        self.taxi_id = np.asarray(taxi_id, dtype=np.int64)
+        n = self.taxi_id.shape[0]
+        self.t = np.asarray(t, dtype=float)
+        self.lon = np.asarray(lon, dtype=float)
+        self.lat = np.asarray(lat, dtype=float)
+        self.speed_kmh = np.asarray(speed_kmh, dtype=float)
+        self.heading_deg = (
+            np.zeros(n) if heading_deg is None else np.asarray(heading_deg, dtype=float)
+        )
+        self.device_id = (
+            self.taxi_id + 700_000 if device_id is None
+            else np.asarray(device_id, dtype=np.int64)
+        )
+        self.gps_ok = (
+            np.ones(n, dtype=bool) if gps_ok is None else np.asarray(gps_ok, dtype=bool)
+        )
+        self.overspeed = (
+            np.zeros(n, dtype=bool) if overspeed is None
+            else np.asarray(overspeed, dtype=bool)
+        )
+        self.passenger = (
+            np.zeros(n, dtype=bool) if passenger is None
+            else np.asarray(passenger, dtype=bool)
+        )
+        for name in self.COLUMNS:
+            col = getattr(self, name)
+            if col.ndim != 1 or col.shape[0] != n:
+                raise ValueError(
+                    f"column {name!r} has shape {col.shape}, expected ({n},)"
+                )
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.taxi_id.shape[0])
+
+    def subset(self, index) -> "TraceArrays":
+        """New :class:`TraceArrays` selected by mask or fancy index."""
+        return TraceArrays(**{name: getattr(self, name)[index] for name in self.COLUMNS})
+
+    def sorted_by_time(self) -> "TraceArrays":
+        """Stable sort by report time."""
+        return self.subset(np.argsort(self.t, kind="stable"))
+
+    def sorted_by_taxi_then_time(self) -> "TraceArrays":
+        """Stable sort by (taxi_id, time) — the layout consecutive-update
+        statistics (Fig. 2) and stop extraction need."""
+        return self.subset(np.lexsort((self.t, self.taxi_id)))
+
+    def time_window(self, t0: float, t1: float) -> "TraceArrays":
+        """Reports with ``t0 <= t < t1``."""
+        return self.subset((self.t >= t0) & (self.t < t1))
+
+    @classmethod
+    def empty(cls) -> "TraceArrays":
+        """A zero-row trace."""
+        z = np.empty(0)
+        return cls(z.astype(np.int64), z, z, z, z)
+
+    @classmethod
+    def concat(cls, parts: Sequence["TraceArrays"]) -> "TraceArrays":
+        """Concatenate traces (rows stacked in order)."""
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return cls.empty()
+        return cls(
+            **{
+                name: np.concatenate([getattr(p, name) for p in parts])
+                for name in cls.COLUMNS
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Record conversion
+    # ------------------------------------------------------------------
+    def to_records(self) -> List[TaxiRecord]:
+        """Materialize as :class:`TaxiRecord` objects (small traces only)."""
+        out: List[TaxiRecord] = []
+        for i in range(len(self)):
+            tid = int(self.taxi_id[i])
+            out.append(
+                TaxiRecord(
+                    plate=plate_of(tid),
+                    longitude=float(self.lon[i]),
+                    latitude=float(self.lat[i]),
+                    time_s=float(self.t[i]),
+                    device_id=int(self.device_id[i]),
+                    speed_kmh=float(self.speed_kmh[i]),
+                    heading_deg=float(self.heading_deg[i]),
+                    gps_ok=bool(self.gps_ok[i]),
+                    overspeed=bool(self.overspeed[i]),
+                    sim_card=sim_card_of(tid),
+                    passenger=bool(self.passenger[i]),
+                    color=BODY_COLORS[tid % len(BODY_COLORS)],
+                )
+            )
+        return out
+
+    @classmethod
+    def from_records(cls, records: Iterable[TaxiRecord]) -> "TraceArrays":
+        """Build columnar storage from record objects.
+
+        The taxi id is recovered from the plate's numeric suffix.
+        """
+        records = list(records)
+        if not records:
+            return cls.empty()
+        return cls(
+            taxi_id=[int(r.plate[-5:]) for r in records],
+            t=[r.time_s for r in records],
+            lon=[r.longitude for r in records],
+            lat=[r.latitude for r in records],
+            speed_kmh=[r.speed_kmh for r in records],
+            heading_deg=[r.heading_deg for r in records],
+            device_id=[r.device_id for r in records],
+            gps_ok=[r.gps_ok for r in records],
+            overspeed=[r.overspeed for r in records],
+            passenger=[r.passenger for r in records],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        n = len(self)
+        if n == 0:
+            return "TraceArrays(0 records)"
+        return (
+            f"TraceArrays({n} records, {len(np.unique(self.taxi_id))} taxis, "
+            f"t in [{self.t.min():.0f}, {self.t.max():.0f}])"
+        )

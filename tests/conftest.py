@@ -1,0 +1,45 @@
+"""Shared fixtures: one small simulated city reused across test modules.
+
+Simulation + trace generation is the expensive part of the stack, so the
+heavyweight artifacts are session-scoped; tests must treat them as
+read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import simulate_and_partition
+from repro.scenario import small_scenario
+
+
+@pytest.fixture(scope="session")
+def city():
+    """The canonical 2×2 test city (known ground truth)."""
+    return small_scenario(cycle_s=98.0, ns_red_s=39.0, rate_per_hour=400.0, seed=0)
+
+
+@pytest.fixture(scope="session")
+def city_data(city):
+    """(trace, partitions) for 1.5 simulated hours of the test city."""
+    trace, parts = simulate_and_partition(city, 0.0, 5400.0, seed=7, serial=False)
+    return trace, parts
+
+
+@pytest.fixture(scope="session")
+def trace(city_data):
+    """Raw Table I trace of the test city."""
+    return city_data[0]
+
+
+@pytest.fixture(scope="session")
+def partitions(city_data):
+    """Per-light partitions of the test city."""
+    return city_data[1]
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

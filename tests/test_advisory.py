@@ -1,0 +1,116 @@
+"""Unit + property tests for the green-light speed advisory (GLOSA)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lights.schedule import LightSchedule
+from repro.navigation.advisory import (
+    advise_speed,
+    advisory_trial,
+    green_windows,
+)
+
+
+SCHED = LightSchedule(cycle_s=100.0, red_s=40.0, offset_s=0.0)
+
+
+class TestGreenWindows:
+    def test_covers_complement_of_red(self):
+        wins = green_windows(SCHED, 0.0, 200.0)
+        np.testing.assert_allclose(wins, [(40.0, 100.0), (140.0, 200.0)])
+
+    def test_starts_mid_green(self):
+        wins = green_windows(SCHED, 50.0, 100.0)
+        assert wins[0] == (50.0, 100.0)
+
+    def test_total_green_fraction(self):
+        wins = green_windows(SCHED, 0.0, 1000.0)
+        total = sum(e - s for s, e in wins)
+        assert total == pytest.approx(600.0)
+
+    @given(t0=st.floats(0, 500), horizon=st.floats(10, 500))
+    @settings(max_examples=30)
+    def test_property_windows_are_green(self, t0, horizon):
+        for s, e in green_windows(SCHED, t0, horizon):
+            mid = (s + e) / 2
+            assert bool(SCHED.is_green(mid))
+
+
+class TestAdviseSpeed:
+    def test_advice_lands_on_green(self):
+        # approaching 400 m out at t=0 (light is red until 40 s)
+        advice = advise_speed(SCHED, 400.0, 0.0, v_min_mps=6.0, v_max_mps=14.0)
+        assert advice.advised_speed_mps is not None
+        assert not advice.will_stop
+        assert bool(SCHED.is_green(advice.arrives_at))
+
+    def test_respects_speed_range(self):
+        advice = advise_speed(SCHED, 400.0, 0.0, v_min_mps=6.0, v_max_mps=14.0)
+        assert 6.0 <= advice.advised_speed_mps <= 14.0
+
+    def test_no_feasible_green_reports_stop(self):
+        # 50 m out, red for the next 39 s, even crawling can't outlast it
+        sched = LightSchedule(100.0, 40.0, offset_s=-1.0)  # red since t=-1
+        advice = advise_speed(sched, 50.0, 0.0, v_min_mps=6.0, v_max_mps=14.0)
+        assert advice.will_stop and advice.advised_speed_mps is None
+        assert advice.wait_s > 0
+
+    def test_cruise_wait_is_baseline(self):
+        advice = advise_speed(SCHED, 280.0, 0.0, v_min_mps=6.0, v_max_mps=14.0)
+        # cruising at 14 m/s arrives at t=20 (red until 40): waits 20 s
+        assert advice.cruise_wait_s == pytest.approx(20.0)
+        assert advice.idling_saved_s == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            advise_speed(SCHED, 0.0, 0.0)
+        with pytest.raises(ValueError):
+            advise_speed(SCHED, 100.0, 0.0, v_min_mps=10.0, v_max_mps=5.0)
+
+    @given(
+        distance=st.floats(100.0, 1500.0),
+        t_now=st.floats(0.0, 500.0),
+        offset=st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=60)
+    def test_property_green_arrival_when_advised(self, distance, t_now, offset):
+        sched = LightSchedule(100.0, 40.0, offset_s=offset)
+        advice = advise_speed(sched, distance, t_now, margin_s=1.0)
+        if advice.advised_speed_mps is not None:
+            assert bool(sched.is_green(advice.arrives_at))
+            assert advice.wait_s == 0.0
+
+
+class TestAdvisoryTrial:
+    def test_perfect_knowledge_never_slower(self):
+        # with a zero safety margin the advisory is exactly optimal;
+        # a positive margin may trade a bounded slowdown for robustness
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            t0 = float(rng.uniform(0, 200))
+            d = float(rng.uniform(150, 900))
+            adv, cruise, _ = advisory_trial(SCHED, SCHED, d, t0, margin_s=0.0)
+            assert adv <= cruise + 1e-6
+
+    def test_erroneous_belief_degrades_gracefully(self):
+        # believed schedule 4 s out of phase: advice may stop, but total
+        # time stays bounded by cruise + one red
+        believed = SCHED.shifted(4.0)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            t0 = float(rng.uniform(0, 200))
+            adv, cruise, _ = advisory_trial(SCHED, believed, 500.0, t0)
+            assert adv <= cruise + SCHED.red_s + 1e-6
+
+    def test_stops_avoided_statistic(self):
+        rng = np.random.default_rng(2)
+        stops_adv = stops_cruise = 0
+        for _ in range(200):
+            t0 = float(rng.uniform(0, 500))
+            d = float(rng.uniform(200, 800))
+            _, _, stopped = advisory_trial(SCHED, SCHED, d, t0)
+            stops_adv += stopped
+            t_cruise = t0 + d / 14.0
+            stops_cruise += SCHED.wait_if_arriving(t_cruise) > 0
+        assert stops_adv < stops_cruise

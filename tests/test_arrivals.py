@@ -1,0 +1,68 @@
+"""Unit tests for repro.sim.arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.sim.arrivals import DAY_PROFILE_SHENZHEN, PoissonArrivals, TimeVaryingArrivals
+
+
+class TestPoisson:
+    def test_sorted_within_window(self, rng):
+        a = PoissonArrivals(600.0).sample(100.0, 700.0, rng)
+        assert np.all(np.diff(a) >= 0)
+        assert a.min() >= 100.0 and a.max() < 700.0
+
+    def test_rate_matches(self, rng):
+        a = PoissonArrivals(600.0).sample(0.0, 36_000.0, rng)
+        # 600/h over 10h -> ~6000 arrivals
+        assert a.size == pytest.approx(6000, rel=0.1)
+
+    def test_zero_rate_empty(self, rng):
+        assert PoissonArrivals(0.0).sample(0, 1000, rng).size == 0
+
+    def test_empty_window(self, rng):
+        assert PoissonArrivals(100.0).sample(50.0, 50.0, rng).size == 0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+
+    def test_mean_rate(self):
+        assert PoissonArrivals(123.0).mean_rate(0, 100) == 123.0
+
+
+class TestTimeVarying:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            TimeVaryingArrivals(100.0, [1.0] * 23)
+        with pytest.raises(ValueError):
+            TimeVaryingArrivals(100.0, [-1.0] + [1.0] * 23)
+
+    def test_rate_at_follows_profile(self):
+        tv = TimeVaryingArrivals(100.0, DAY_PROFILE_SHENZHEN)
+        assert tv.rate_at(4 * 3600.0) == pytest.approx(100.0 * DAY_PROFILE_SHENZHEN[4])
+        # wraps past midnight
+        assert tv.rate_at(26 * 3600.0) == pytest.approx(100.0 * DAY_PROFILE_SHENZHEN[2])
+
+    def test_thinning_respects_intensity(self, rng):
+        profile = np.ones(24)
+        profile[0:12] = 0.0  # nothing in the first half of the day
+        tv = TimeVaryingArrivals(400.0, profile)
+        a = tv.sample(0.0, 86_400.0, rng)
+        assert np.all(a >= 12 * 3600.0)
+        # 400/h over the 12 active hours
+        assert a.size == pytest.approx(400 * 12, rel=0.15)
+
+    def test_zero_base_rate(self, rng):
+        tv = TimeVaryingArrivals(0.0)
+        assert tv.sample(0, 86_400, rng).size == 0
+
+    def test_mean_rate_between_extremes(self):
+        tv = TimeVaryingArrivals(100.0)
+        m = tv.mean_rate(0.0, 86_400.0)
+        assert 100.0 * DAY_PROFILE_SHENZHEN.min() <= m <= 100.0 * DAY_PROFILE_SHENZHEN.max()
+
+    def test_default_profile_shape(self):
+        # Fig 2(a) shape: overnight lull, evening peak
+        assert DAY_PROFILE_SHENZHEN[4] < DAY_PROFILE_SHENZHEN[19]
+        assert DAY_PROFILE_SHENZHEN.shape == (24,)

@@ -1,0 +1,105 @@
+"""Unit tests for signal-change identification (§VI.C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.changepoint import (
+    circular_moving_average,
+    find_signal_change,
+    stop_end_density,
+)
+
+
+def speed_profile(cycle=98, red=39, r2g_at=39, lo=1.0, hi=9.0):
+    """Idealized superposed profile: slow during red, fast in green."""
+    idx = np.arange(cycle)
+    g2r = (r2g_at - red) % cycle
+    in_red = ((idx - g2r) % cycle) < red
+    return np.where(in_red, lo, hi).astype(float)
+
+
+class TestCircularMovingAverage:
+    def test_window_one_is_identity(self):
+        p = np.arange(10.0)
+        np.testing.assert_allclose(circular_moving_average(p, 1), p)
+
+    def test_exact_wraparound(self):
+        p = np.array([1.0, 2.0, 3.0, 4.0])
+        out = circular_moving_average(p, 2)
+        np.testing.assert_allclose(out, [1.5, 2.5, 3.5, 2.5])
+
+    def test_full_window_is_mean(self):
+        p = np.array([1.0, 5.0, 9.0])
+        out = circular_moving_average(p, 3)
+        np.testing.assert_allclose(out, np.full(3, 5.0))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            circular_moving_average(np.arange(5.0), 0)
+        with pytest.raises(ValueError):
+            circular_moving_average(np.arange(5.0), 6)
+
+
+class TestStopEndDensity:
+    def test_peak_at_cluster(self):
+        ends = np.full(20, 40.0) + np.random.default_rng(0).normal(0, 1.5, 20)
+        dens = stop_end_density(ends, 98.0)
+        assert abs(int(np.argmax(dens)) - 40) <= 2
+
+    def test_wraps_circularly(self):
+        ends = np.array([1.0, 97.0])  # cluster straddling zero
+        dens = stop_end_density(ends, 98.0, bandwidth_s=3.0)
+        assert dens[0] > dens[49]
+
+    def test_empty(self):
+        assert stop_end_density(np.array([]), 98.0).sum() == 0
+
+
+class TestFindSignalChange:
+    def test_ideal_profile(self):
+        prof = speed_profile(cycle=98, red=39, r2g_at=39)
+        ch = find_signal_change(prof, 39.0)
+        assert ch.red_to_green_s == pytest.approx(39.0, abs=2.0)
+        assert ch.green_to_red_s == pytest.approx(0.0, abs=2.0)
+
+    def test_shifted_phase(self):
+        prof = speed_profile(cycle=98, red=39, r2g_at=70)
+        ch = find_signal_change(prof, 39.0)
+        assert ch.red_to_green_s == pytest.approx(70.0, abs=2.0)
+
+    def test_relationship_between_changes(self):
+        prof = speed_profile(cycle=100, red=40, r2g_at=60)
+        ch = find_signal_change(prof, 40.0)
+        assert (ch.red_to_green_s - ch.green_to_red_s) % 100 == pytest.approx(40.0, abs=1e-6)
+
+    def test_fusion_overrides_noisy_profile(self, rng):
+        # profile distorted so the window-min lands late; stop ends fix it
+        prof = speed_profile(cycle=98, red=39, r2g_at=39)
+        prof += rng.normal(0, 2.0, prof.size)
+        ends = np.mod(39.0 + rng.normal(0, 2.0, 50), 98.0)
+        fused = find_signal_change(prof, 39.0, stop_ends_in_cycle=ends, fusion_weight=2.0)
+        assert fused.red_to_green_s == pytest.approx(39.0, abs=4.0)
+
+    def test_zero_fusion_is_paper_literal(self, rng):
+        prof = speed_profile()
+        ends = np.full(30, 80.0)  # deliberately misleading
+        a = find_signal_change(prof, 39.0, stop_ends_in_cycle=ends, fusion_weight=0.0)
+        b = find_signal_change(prof, 39.0)
+        assert a.red_to_green_s == b.red_to_green_s
+
+    def test_paper_example_fig11(self, rng):
+        """Cycle 98, red 39, green 59 — the Fig. 11 configuration; the
+        detector must localize the change within the paper's ~3 s."""
+        cycle, red = 98, 39
+        t = np.sort(rng.uniform(0, 1800, 500))
+        v = np.where((t % cycle) < red, 1.0, 9.0) + rng.normal(0, 1.0, 500)
+        from repro.core.superposition import cycle_profile
+        prof = cycle_profile(t, v, float(cycle))
+        ch = find_signal_change(prof, float(red))
+        assert ch.red_to_green_s == pytest.approx(red, abs=4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_signal_change(np.arange(10.0), 0.0)
+        with pytest.raises(ValueError):
+            find_signal_change(np.arange(10.0), 5.0, fusion_weight=-1.0)

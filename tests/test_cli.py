@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        a = build_parser().parse_args(
+            ["simulate", "--scenario", "small", "--hours", "0.5", "--out", "/tmp/x"]
+        )
+        assert a.command == "simulate" and a.hours == 0.5
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+@pytest.fixture(scope="module")
+def city_prefix(tmp_path_factory):
+    prefix = str(tmp_path_factory.mktemp("cli") / "city")
+    rc = main(["simulate", "--scenario", "small", "--hours", "1.0",
+               "--seed", "3", "--out", prefix])
+    assert rc == 0
+    return prefix
+
+
+class TestPipelineCommands:
+    def test_simulate_outputs(self, city_prefix):
+        assert os.path.exists(f"{city_prefix}.trace.txt")
+        assert os.path.exists(f"{city_prefix}.net.json")
+        assert os.path.getsize(f"{city_prefix}.trace.txt") > 10_000
+
+    def test_stats(self, city_prefix, capsys):
+        rc = main(["stats", f"{city_prefix}.trace.txt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "update interval" in out
+        assert "stationary" in out
+
+    def test_identify_with_truth(self, city_prefix, capsys):
+        rc = main(["identify", "--city", city_prefix, "--at", "3600",
+                   "--serial"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dCycle" in out  # ground truth present -> scored output
+        assert "cycle" in out
+
+    def test_navigate(self, capsys):
+        rc = main(["navigate", "--cols", "4", "--rows", "4", "--trips", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "overall saving" in out
+
+
+class TestEvaluateCommand:
+    def test_evaluate(self, city_prefix, capsys):
+        rc = main(["evaluate", "--city", city_prefix, "--times", "2700", "3600",
+                   "--serial"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycle length" in out and "cycle-locked" in out
+
+
+class TestMonitorCommand:
+    def test_monitor(self, city_prefix, capsys):
+        rc = main(["monitor", "--city", city_prefix, "--light", "0:NS",
+                   "--every", "600"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "windows" in out and "cycle=" in out
+
+    def test_monitor_bad_light(self, city_prefix, capsys):
+        assert main(["monitor", "--city", city_prefix, "--light", "zzz"]) == 2
+        assert main(["monitor", "--city", city_prefix, "--light", "99:NS"]) == 2

@@ -1,0 +1,40 @@
+"""Smoke tests: the shipped examples must actually run.
+
+Only the fast examples execute here (the city-wide and corridor ones
+take tens of seconds and are exercised by the benchmarks instead).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    path = EXAMPLES / name
+    assert path.exists(), f"missing example {name}"
+    runpy.run_path(str(path), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart_runs(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "cycle" in out
+    assert "wait if arriving now" in out
+
+
+def test_trace_files_runs(capsys):
+    out = run_example("trace_files.py", capsys)
+    assert "Fig. 2-style characterization" in out
+    assert "update interval" in out
+
+
+def test_all_examples_importable():
+    """Every example must at least parse (syntax gate for the slow ones)."""
+    import ast
+
+    for path in sorted(EXAMPLES.glob("*.py")):
+        ast.parse(path.read_text(encoding="utf-8"), filename=str(path))

@@ -1,0 +1,112 @@
+"""Unit tests for repro.network.geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.network.geometry import (
+    LocalFrame,
+    heading_difference,
+    heading_of_vector,
+    point_segment_distance,
+    project_onto_segment,
+    unit_vector_of_heading,
+)
+
+
+class TestLocalFrame:
+    def test_origin_maps_to_zero(self):
+        f = LocalFrame()
+        x, y = f.to_local(f.origin_lon, f.origin_lat)
+        assert x == pytest.approx(0.0) and y == pytest.approx(0.0)
+
+    def test_lat_degree_is_about_111km(self):
+        f = LocalFrame()
+        assert f.meters_per_deg_lat == pytest.approx(111_195, rel=0.01)
+
+    def test_lon_shrinks_with_latitude(self):
+        f = LocalFrame()
+        assert f.meters_per_deg_lon < f.meters_per_deg_lat
+
+    @given(
+        dlon=st.floats(-0.2, 0.2),
+        dlat=st.floats(-0.2, 0.2),
+    )
+    def test_roundtrip(self, dlon, dlat):
+        f = LocalFrame()
+        lon, lat = f.origin_lon + dlon, f.origin_lat + dlat
+        x, y = f.to_local(lon, lat)
+        lon2, lat2 = f.to_geographic(x, y)
+        assert lon2 == pytest.approx(lon, abs=1e-9)
+        assert lat2 == pytest.approx(lat, abs=1e-9)
+
+    def test_vectorized(self):
+        f = LocalFrame()
+        x, y = f.to_local(np.array([114.05, 114.06]), np.array([22.54, 22.55]))
+        assert x.shape == (2,) and y.shape == (2,)
+        assert x[1] > x[0] and y[1] > y[0]
+
+    def test_rejects_bad_origin(self):
+        with pytest.raises(ValueError):
+            LocalFrame(origin_lon=200.0)
+
+
+class TestHeadings:
+    @pytest.mark.parametrize(
+        "dx,dy,expected",
+        [(0, 1, 0.0), (1, 0, 90.0), (0, -1, 180.0), (-1, 0, 270.0), (1, 1, 45.0)],
+    )
+    def test_cardinals(self, dx, dy, expected):
+        assert heading_of_vector(dx, dy) == pytest.approx(expected)
+
+    @given(h=st.floats(0, 359.99))
+    def test_unit_vector_roundtrip(self, h):
+        dx, dy = unit_vector_of_heading(h)
+        assert heading_of_vector(dx, dy) == pytest.approx(h, abs=1e-6)
+
+    def test_difference_wraps(self):
+        assert heading_difference(350.0, 10.0) == pytest.approx(20.0)
+
+    def test_difference_max_180(self):
+        assert heading_difference(0.0, 180.0) == pytest.approx(180.0)
+
+    @given(a=st.floats(0, 360), b=st.floats(0, 360))
+    def test_difference_bounds_and_symmetry(self, a, b):
+        d = float(heading_difference(a, b))
+        assert 0.0 <= d <= 180.0
+        assert d == pytest.approx(float(heading_difference(b, a)), abs=1e-9)
+
+
+class TestProjection:
+    def test_interior_projection(self):
+        t, qx, qy = project_onto_segment(5.0, 3.0, 0.0, 0.0, 10.0, 0.0)
+        assert t == pytest.approx(0.5)
+        assert (qx, qy) == (pytest.approx(5.0), pytest.approx(0.0))
+
+    def test_clamps_to_endpoints(self):
+        t, qx, qy = project_onto_segment(-4.0, 2.0, 0.0, 0.0, 10.0, 0.0)
+        assert t == 0.0 and qx == pytest.approx(0.0)
+
+    def test_degenerate_segment(self):
+        t, qx, qy = project_onto_segment(3.0, 4.0, 1.0, 1.0, 1.0, 1.0)
+        assert qx == pytest.approx(1.0) and qy == pytest.approx(1.0)
+
+    def test_distance_interior(self):
+        d = point_segment_distance(5.0, 3.0, 0.0, 0.0, 10.0, 0.0)
+        assert d == pytest.approx(3.0)
+
+    def test_distance_beyond_end(self):
+        d = point_segment_distance(13.0, 4.0, 0.0, 0.0, 10.0, 0.0)
+        assert d == pytest.approx(5.0)
+
+    def test_broadcast_points_by_segments(self):
+        px = np.array([[0.0], [10.0]])  # 2 points
+        py = np.array([[5.0], [5.0]])
+        ax = np.array([[0.0, 100.0]])  # 2 segments
+        ay = np.array([[0.0, 0.0]])
+        bx = np.array([[10.0, 110.0]])
+        by = np.array([[0.0, 0.0]])
+        d = point_segment_distance(px, py, ax, ay, bx, by)
+        assert d.shape == (2, 2)
+        assert d[0, 0] == pytest.approx(5.0)
+        assert d[0, 1] == pytest.approx(np.hypot(100.0, 5.0))

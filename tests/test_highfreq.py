@@ -1,0 +1,131 @@
+"""Unit tests for the high-frequency event-based baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.highfreq import (
+    HighFreqConfig,
+    identify_light_highfreq,
+    start_events,
+)
+from repro.core.signal_types import InsufficientDataError
+from repro.matching.partition import LightPartition
+from repro.network.geometry import LocalFrame
+from repro.trace.records import TraceArrays
+
+
+def partition_from(t, speed, taxi_id):
+    t = np.asarray(t, dtype=float)
+    n = t.size
+    frame = LocalFrame()
+    lon, lat = frame.to_geographic(np.zeros(n), np.zeros(n))
+    tr = TraceArrays(
+        taxi_id=np.asarray(taxi_id, dtype=np.int64),
+        t=t,
+        lon=lon,
+        lat=lat,
+        speed_kmh=np.asarray(speed, dtype=float),
+    )
+    order = np.argsort(t, kind="stable")
+    return LightPartition(
+        intersection_id=0,
+        approach="NS",
+        trace=tr.subset(order),
+        segment_id=np.zeros(n, dtype=np.int64),
+        dist_to_stopline_m=np.full(n, 20.0),
+    )
+
+
+class TestStartEvents:
+    def test_detects_stop_to_go(self):
+        p = partition_from(
+            t=[0, 1, 2, 3, 4],
+            speed=[30, 0, 0, 0, 30],
+            taxi_id=[1] * 5,
+        )
+        times, waits = start_events(p)
+        assert times.size == 1
+        assert times[0] == pytest.approx(3.5)
+        assert waits[0] == pytest.approx(2.0)  # stopped from t=1 to t=3
+
+    def test_gap_too_large_missed(self):
+        p = partition_from(
+            t=[0, 30, 60],
+            speed=[0, 0, 30],
+            taxi_id=[1] * 3,
+        )
+        times, _ = start_events(p)  # 30 s gap > max_gap_s
+        assert times.size == 0
+
+    def test_crossing_taxi_boundary_ignored(self):
+        p = partition_from(
+            t=[0, 1],
+            speed=[0, 30],
+            taxi_id=[1, 2],
+        )
+        times, _ = start_events(p)
+        assert times.size == 0
+
+    def test_empty(self):
+        p = partition_from(t=[], speed=[], taxi_id=[])
+        times, waits = start_events(p)
+        assert times.size == 0 and waits.size == 0
+
+
+class TestIdentifyHighFreq:
+    def make_highfreq_partition(self, rng, cycle=98.0, red=39.0, offset=10.0):
+        """1 Hz probes: one vehicle per cycle waits out the red."""
+        rows_t, rows_v, rows_id = [], [], []
+        for k in range(30):
+            red_start = offset + k * cycle
+            arrive = red_start + float(rng.uniform(0.0, red * 0.7))
+            wait_until = red_start + red
+            # 1 Hz reports: approach, wait, depart
+            for i in range(3):
+                rows_t.append(arrive - 3 + i)
+                rows_v.append(30.0)
+            tt = np.arange(arrive, wait_until, 1.0)
+            rows_t.extend(tt)
+            rows_v.extend([0.0] * tt.size)
+            for i in range(3):
+                rows_t.append(wait_until + i)
+                rows_v.append(15.0 + 10 * i)
+            rows_id.extend([100 + k] * (3 + tt.size + 3))
+        return partition_from(rows_t, rows_v, rows_id)
+
+    def test_recovers_schedule_from_1hz(self, rng):
+        p = self.make_highfreq_partition(rng)
+        sched = identify_light_highfreq(p, at_time=float(p.trace.t.max()),
+                                        window_s=3000.0)
+        assert sched.cycle_s == pytest.approx(98.0, abs=1.0)
+        # red→green instants land on the true phase
+        true_r2g = (10.0 + 39.0) % 98.0
+        est_r2g = (sched.offset_s + sched.red_s) % sched.cycle_s
+        d = abs(est_r2g - true_r2g)
+        assert min(d, 98.0 - d) <= 4.0
+
+    def test_insufficient_events_raises(self):
+        p = partition_from(
+            t=[0, 1, 2], speed=[0, 0, 30], taxi_id=[1, 1, 1]
+        )
+        with pytest.raises(InsufficientDataError):
+            identify_light_highfreq(p, at_time=100.0)
+
+    def test_low_frequency_data_fails(self, rng):
+        """The paper's claim in miniature: thin the 1 Hz probes to 20 s
+        reports and the event method must give up."""
+        p = self.make_highfreq_partition(rng)
+        keep = np.zeros(len(p.trace), dtype=bool)
+        keep[::20] = True
+        thinned = LightPartition(
+            p.intersection_id, p.approach,
+            p.trace.subset(keep), p.segment_id[keep],
+            p.dist_to_stopline_m[keep],
+        )
+        with pytest.raises(InsufficientDataError):
+            identify_light_highfreq(thinned, at_time=float(p.trace.t.max()),
+                                    window_s=3000.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HighFreqConfig(min_cycle_s=100.0, max_cycle_s=50.0)

@@ -1,0 +1,100 @@
+"""Unit + property tests for §V.A regularization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.interpolation import bucket_mean, regularize
+from repro.core.signal_types import InsufficientDataError
+
+
+class TestBucketMean:
+    def test_mean_merge_same_second(self):
+        t = np.array([10.2, 10.7, 20.1])
+        v = np.array([4.0, 8.0, 5.0])
+        bt, bv = bucket_mean(t, v, 0.0, 30.0)
+        np.testing.assert_allclose(bt, [10.0, 20.0])
+        np.testing.assert_allclose(bv, [6.0, 5.0])
+
+    def test_window_filtering(self):
+        t = np.array([-5.0, 10.0, 40.0])
+        v = np.ones(3)
+        bt, _ = bucket_mean(t, v, 0.0, 30.0)
+        np.testing.assert_allclose(bt, [10.0])
+
+    def test_empty(self):
+        bt, bv = bucket_mean(np.array([]), np.array([]), 0.0, 10.0)
+        assert bt.size == 0 and bv.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bucket_mean(np.array([1.0]), np.array([1.0, 2.0]), 0, 10)
+        with pytest.raises(ValueError):
+            bucket_mean(np.array([1.0]), np.array([1.0]), 10, 0)
+
+    @given(
+        values=st.lists(st.floats(-50, 50), min_size=1, max_size=40),
+    )
+    @settings(max_examples=30)
+    def test_property_mean_bounded(self, values):
+        t = np.arange(len(values), dtype=float) * 0.25  # collisions guaranteed
+        v = np.array(values)
+        _, bv = bucket_mean(t, v, 0.0, 100.0)
+        assert bv.min() >= v.min() - 1e-9
+        assert bv.max() <= v.max() + 1e-9
+
+
+class TestRegularize:
+    def test_grid_shape(self):
+        t = np.arange(0, 100, 7.0)
+        v = np.sin(t)
+        grid, out = regularize(t, v, 0.0, 100.0)
+        assert grid.shape == out.shape == (100,)
+        np.testing.assert_allclose(np.diff(grid), 1.0)
+
+    @pytest.mark.parametrize("kind", ["spline", "linear", "previous"])
+    def test_exact_at_sample_points(self, kind):
+        t = np.arange(0, 100, 10.0)
+        v = np.cos(t / 9.0) * 10
+        grid, out = regularize(t, v, 0.0, 100.0, kind=kind)
+        idx = t.astype(int)
+        np.testing.assert_allclose(out[idx], v, atol=1e-8)
+
+    def test_spline_recovers_smooth_signal(self):
+        t = np.sort(np.random.default_rng(0).uniform(0, 200, 60))
+        true = lambda x: 5 + 3 * np.sin(2 * np.pi * x / 50.0)
+        grid, out = regularize(t, true(t), 0.0, 200.0, kind="spline")
+        inside = (grid > t.min()) & (grid < t.max())
+        err = np.abs(out[inside] - true(grid[inside]))
+        assert np.median(err) < 0.5
+
+    def test_edges_held_constant(self):
+        t = np.array([50.0, 60.0, 70.0, 80.0])
+        v = np.array([1.0, 2.0, 3.0, 4.0])
+        grid, out = regularize(t, v, 0.0, 100.0)
+        np.testing.assert_allclose(out[:50], 1.0)
+        np.testing.assert_allclose(out[81:], 4.0)
+
+    def test_insufficient_data_raises(self):
+        with pytest.raises(InsufficientDataError):
+            regularize(np.array([1.0, 2.0]), np.array([1.0, 2.0]), 0.0, 100.0)
+
+    def test_min_samples_counts_buckets_not_rows(self):
+        # 10 rows but all in one second: still insufficient
+        t = np.full(10, 5.3)
+        v = np.arange(10.0)
+        with pytest.raises(InsufficientDataError):
+            regularize(t, v, 0.0, 100.0, min_samples=4)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            regularize(np.arange(10.0), np.arange(10.0), 0, 10, kind="cubic")
+
+    @given(seed=st.integers(0, 100))
+    @settings(max_examples=20)
+    def test_property_no_nans(self, seed):
+        rng = np.random.default_rng(seed)
+        t = np.sort(rng.uniform(0, 300, 12))
+        v = rng.uniform(-10, 60, 12)
+        _, out = regularize(t, v, 0.0, 300.0)
+        assert np.isfinite(out).all()

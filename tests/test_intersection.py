@@ -1,0 +1,84 @@
+"""Unit tests for repro.lights.intersection."""
+
+import numpy as np
+import pytest
+
+from repro.lights.controller import PreProgrammedController, StaticController
+from repro.lights.intersection import (
+    IntersectionSignals,
+    SignalPlan,
+    attach_signals_to_network,
+    make_intersection_signals,
+)
+from repro.network.roadnet import Approach, grid_network
+
+
+class TestSignalPlan:
+    def test_ns_and_ew_complementary(self):
+        p = SignalPlan(cycle_s=98, ns_red_s=39, offset_s=10)
+        ns, ew = p.ns_schedule(), p.ew_schedule()
+        assert ew.cycle_s == ns.cycle_s
+        assert ew.red_s == pytest.approx(ns.green_s)
+        for t in np.linspace(0, 300, 37):
+            assert bool(ns.is_red(t)) == bool(ew.is_green(t))
+
+
+class TestMakeIntersectionSignals:
+    def test_single_plan_static(self):
+        sig = make_intersection_signals(3, [SignalPlan(98, 39)])
+        assert isinstance(sig.controller_for(Approach.NS), StaticController)
+        assert sig.shared_cycle_at(0.0) == pytest.approx(98)
+
+    def test_multi_plan_preprogrammed(self):
+        plans = [
+            SignalPlan(98, 39, start_second_of_day=0.0),
+            SignalPlan(140, 70, start_second_of_day=7 * 3600.0),
+        ]
+        sig = make_intersection_signals(0, plans)
+        assert isinstance(sig.controller_for(Approach.NS), PreProgrammedController)
+        assert sig.shared_cycle_at(8 * 3600.0) == pytest.approx(140)
+        assert sig.shared_cycle_at(1000.0) == pytest.approx(98)
+
+    def test_groups_never_both_green(self):
+        sig = make_intersection_signals(0, [SignalPlan(98, 39, offset_s=17)])
+        for t in np.linspace(0, 500, 101):
+            ns_red = sig.controllers[Approach.NS].is_red(t)
+            ew_red = sig.controllers[Approach.EW].is_red(t)
+            assert ns_red or ew_red  # complementary: exactly one red
+
+    def test_rejects_empty_plans(self):
+        with pytest.raises(ValueError):
+            make_intersection_signals(0, [])
+
+    def test_missing_group_rejected(self):
+        with pytest.raises(ValueError):
+            IntersectionSignals(0, {Approach.NS: StaticController(SignalPlan(98, 39).ns_schedule())})
+
+
+class TestSegmentLookup:
+    def test_controller_for_segment(self):
+        net = grid_network(2, 2, 500.0)
+        sig = make_intersection_signals(0, [SignalPlan(98, 39)])
+        for seg in net.incoming(0):
+            ctl = sig.controller_for_segment(seg)
+            assert ctl is sig.controllers[seg.approach]
+
+    def test_rejects_foreign_segment(self):
+        net = grid_network(2, 2, 500.0)
+        sig = make_intersection_signals(0, [SignalPlan(98, 39)])
+        foreign = net.incoming(3)[0]
+        with pytest.raises(ValueError):
+            sig.controller_for_segment(foreign)
+
+
+class TestAttach:
+    def test_attach_covers_all_signalized(self):
+        net = grid_network(2, 2)
+        plans = {i: [SignalPlan(98, 39)] for i in range(4)}
+        out = attach_signals_to_network(net, plans)
+        assert set(out) == {0, 1, 2, 3}
+
+    def test_missing_plan_raises(self):
+        net = grid_network(2, 2)
+        with pytest.raises(ValueError):
+            attach_signals_to_network(net, {0: [SignalPlan(98, 39)]})

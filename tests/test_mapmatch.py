@@ -1,0 +1,108 @@
+"""Unit tests for map matching (§IV, Fig. 5 rules)."""
+
+import numpy as np
+import pytest
+
+from repro.matching.mapmatch import MatchConfig, match_trace
+from repro.network.roadnet import grid_network
+from repro.trace.records import TraceArrays
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(2, 2, 500.0)
+
+
+def trace_at(net, x, y, heading, gps_ok=True):
+    lon, lat = net.frame.to_geographic(np.atleast_1d(x), np.atleast_1d(y))
+    n = lon.shape[0]
+    return TraceArrays(
+        taxi_id=np.arange(n) + 1,
+        t=np.arange(n, dtype=float),
+        lon=lon,
+        lat=lat,
+        speed_kmh=np.full(n, 20.0),
+        heading_deg=np.broadcast_to(np.asarray(heading, float), (n,)).copy(),
+        gps_ok=np.full(n, gps_ok),
+    )
+
+
+class TestNearestRule:
+    def test_matches_nearest_compatible_segment(self, net):
+        # point on the south edge road, heading east -> the eastbound segment
+        tr = trace_at(net, 250.0, 5.0, 90.0)
+        m = match_trace(tr, net)
+        seg = net.segments[int(m.segment_id[0])]
+        assert seg.heading == pytest.approx(90.0)
+        assert m.distance_m[0] == pytest.approx(5.0, abs=0.1)
+
+    def test_heading_conflict_picks_opposite_direction(self, net):
+        # same point but heading west: the westbound twin must win even
+        # though both are equidistant geometrically
+        tr = trace_at(net, 250.0, 5.0, 270.0)
+        m = match_trace(tr, net)
+        seg = net.segments[int(m.segment_id[0])]
+        assert seg.heading == pytest.approx(270.0)
+
+    def test_far_point_unmatched(self, net):
+        tr = trace_at(net, 250.0, 5000.0, 90.0)
+        m = match_trace(tr, net, MatchConfig(max_distance_m=120.0))
+        assert m.segment_id[0] == -1
+        assert np.isnan(m.distance_m[0])
+
+    def test_incompatible_heading_everywhere_unmatched(self, net):
+        # heading 45° is NS-ish... make the threshold tiny so nothing fits
+        tr = trace_at(net, 250.0, 5.0, 45.0)
+        m = match_trace(tr, net, MatchConfig(max_heading_diff_deg=10.0))
+        assert m.segment_id[0] == -1
+
+
+class TestGPSFilter:
+    def test_gps_not_ok_dropped(self, net):
+        tr = trace_at(net, 250.0, 5.0, 90.0, gps_ok=False)
+        m = match_trace(tr, net)
+        assert len(m.trace) == 0
+
+    def test_gps_filter_can_be_disabled(self, net):
+        tr = trace_at(net, 250.0, 5.0, 90.0, gps_ok=False)
+        m = match_trace(tr, net, MatchConfig(require_gps_ok=False))
+        assert len(m.trace) == 1 and m.segment_id[0] >= 0
+
+
+class TestBatch:
+    def test_chunking_matches_unchunked(self, net, rng):
+        xs = rng.uniform(-50, 550, 300)
+        ys = rng.uniform(-50, 550, 300)
+        hs = rng.uniform(0, 360, 300)
+        tr = trace_at(net, xs, ys, hs)
+        a = match_trace(tr, net, MatchConfig(chunk_size=7))
+        b = match_trace(tr, net, MatchConfig(chunk_size=100_000))
+        np.testing.assert_array_equal(a.segment_id, b.segment_id)
+
+    def test_matched_fraction(self, net):
+        tr = trace_at(net, np.array([250.0, 250.0]), np.array([5.0, 9000.0]),
+                      np.array([90.0, 90.0]))
+        m = match_trace(tr, net)
+        assert m.matched_fraction == pytest.approx(0.5)
+
+    def test_matched_only(self, net):
+        tr = trace_at(net, np.array([250.0, 250.0]), np.array([5.0, 9000.0]),
+                      np.array([90.0, 90.0]))
+        sub, segs = match_trace(tr, net).matched_only()
+        assert len(sub) == 1 and segs.shape == (1,)
+
+    def test_empty_trace(self, net):
+        m = match_trace(TraceArrays.empty(), net)
+        assert len(m.trace) == 0 and np.isnan(m.matched_fraction)
+
+    def test_end_to_end_fraction_high(self, trace, city):
+        m = match_trace(trace, city.net)
+        assert m.matched_fraction > 0.95
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            MatchConfig(max_distance_m=0.0)
+        with pytest.raises(ValueError):
+            MatchConfig(chunk_size=0)

@@ -1,0 +1,123 @@
+"""Unit tests for scheduling-change monitoring (§VII)."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import (
+    HistoricalProfile,
+    MonitorSeries,
+    PlanChange,
+    detect_plan_changes,
+    monitor_cycle,
+    repair_outliers,
+)
+
+
+def series(cycles, t0=0.0, every=300.0, quality=None):
+    cycles = np.asarray(cycles, dtype=float)
+    t = t0 + np.arange(cycles.size) * every
+    q = np.ones_like(cycles) if quality is None else np.asarray(quality, float)
+    return MonitorSeries(t=t, cycle_s=cycles, quality=q)
+
+
+class TestRepairOutliers:
+    def test_isolated_spike_repaired(self):
+        s = series([98, 98, 240, 98, 98, 98])
+        r = repair_outliers(s)
+        assert r.cycle_s[2] == pytest.approx(98.0)
+
+    def test_sustained_shift_survives(self):
+        s = series([98] * 6 + [140] * 6)
+        r = repair_outliers(s)
+        assert r.cycle_s[-1] == pytest.approx(140.0)
+        assert r.cycle_s[0] == pytest.approx(98.0)
+
+    def test_nans_passed_through(self):
+        s = series([98, np.nan, 98, 98])
+        r = repair_outliers(s)
+        assert np.isnan(r.cycle_s[1])
+
+    def test_valid_fraction(self):
+        s = series([98, np.nan, 98, np.nan])
+        assert s.valid_fraction() == pytest.approx(0.5)
+
+
+class TestDetectPlanChanges:
+    def test_single_change_detected(self):
+        s = series([98] * 10 + [140] * 10, every=300.0)
+        changes = detect_plan_changes(s)
+        assert len(changes) == 1
+        ch = changes[0]
+        assert ch.at_time == pytest.approx(10 * 300.0)
+        assert ch.old_cycle_s == pytest.approx(98.0, abs=2.0)
+        assert ch.new_cycle_s == pytest.approx(140.0, abs=2.0)
+
+    def test_no_change_on_stable_series(self):
+        s = series([98] * 30)
+        assert detect_plan_changes(s) == []
+
+    def test_isolated_blip_not_a_change(self):
+        s = series([98] * 10 + [140] + [98] * 10)
+        assert detect_plan_changes(s) == []
+
+    def test_two_blips_below_min_consecutive_ignored(self):
+        s = series([98] * 10 + [140, 140] + [98] * 10)
+        assert detect_plan_changes(s, min_consecutive=3) == []
+
+    def test_round_trip_peak_plan(self):
+        # off-peak -> peak -> off-peak (the Fig. 12 daily pattern)
+        s = series([98] * 12 + [140] * 8 + [98] * 12)
+        changes = detect_plan_changes(s)
+        assert len(changes) == 2
+        assert changes[0].new_cycle_s == pytest.approx(140.0, abs=2.0)
+        assert changes[1].new_cycle_s == pytest.approx(98.0, abs=2.0)
+
+    def test_nan_gaps_tolerated(self):
+        cycles = [98] * 8 + [np.nan] * 3 + [140] * 6
+        changes = detect_plan_changes(series(cycles))
+        assert len(changes) == 1
+
+    def test_empty_series(self):
+        assert detect_plan_changes(series([np.nan, np.nan])) == []
+
+
+class TestMonitorCycle(object):
+    def test_monitor_on_real_partition(self, partitions, city):
+        key = next(iter(sorted(partitions)))
+        p = partitions[key]
+        out = monitor_cycle(p, 0.0, 5400.0, every_s=600.0, window_s=1800.0)
+        assert len(out) == len(np.arange(1800.0, 5400.0 + 1e-9, 600.0))
+        assert out.valid_fraction() > 0.5
+        valid = out.cycle_s[~np.isnan(out.cycle_s)]
+        # the test city runs 98 s cycles; most estimates must agree
+        assert np.median(valid) == pytest.approx(98.0, abs=3.0)
+
+    def test_validation(self, partitions):
+        p = next(iter(partitions.values()))
+        with pytest.raises(ValueError):
+            monitor_cycle(p, 0.0, 100.0, every_s=0.0)
+
+
+class TestHistoricalProfile:
+    def test_median_across_days(self):
+        day = 86_400.0
+        d1 = series([98] * 10, t0=8 * 3600.0, every=1800.0)
+        d2 = series([100] * 10, t0=day + 8 * 3600.0, every=1800.0)
+        d3 = series([98] * 10, t0=2 * day + 8 * 3600.0, every=1800.0)
+        h = HistoricalProfile([d1, d2, d3])
+        assert h.expectation_at(8.5 * 3600.0) == pytest.approx(98.0)
+
+    def test_correct_snaps_outlier(self):
+        d = series([98] * 20, t0=6 * 3600.0, every=1800.0)
+        h = HistoricalProfile([d])
+        assert h.correct(7 * 3600.0, 98.5) == pytest.approx(98.5)  # within tol
+        assert h.correct(7 * 3600.0, 180.0) == pytest.approx(98.0)  # snapped
+
+    def test_unknown_slot_passthrough(self):
+        d = series([98] * 4, t0=6 * 3600.0, every=1800.0)
+        h = HistoricalProfile([d])
+        assert h.correct(20 * 3600.0, 123.0) == 123.0
+
+    def test_bin_validation(self):
+        with pytest.raises(ValueError):
+            HistoricalProfile([], bin_s=7.0)

@@ -1,0 +1,162 @@
+"""Unit tests for the navigation demo (§VIII.B): simulator + routers."""
+
+import numpy as np
+import pytest
+
+from repro.lights.intersection import SignalPlan, attach_signals_to_network
+from repro.navigation.experiment import (
+    NavScenario,
+    make_random_signals,
+    run_navigation_experiment,
+)
+from repro.navigation.router import (
+    EnumerationRouter,
+    EstimatedProvider,
+    GroundTruthProvider,
+    ZeroWaitProvider,
+    navigate,
+    shortest_drive_path,
+    time_dependent_dijkstra,
+)
+from repro.navigation.simulator import TravelConfig, TripSimulator
+from repro.network.roadnet import grid_network
+
+
+@pytest.fixture(scope="module")
+def nav():
+    net = grid_network(3, 3, 1000.0)
+    plans = {
+        i: [SignalPlan(cycle_s=120.0, ns_red_s=60.0, offset_s=13.0 * i)]
+        for i in range(9)
+    }
+    signals = attach_signals_to_network(net, plans)
+    sim = TripSimulator(net, signals, TravelConfig(50.0 / 3.6))
+    return net, signals, sim
+
+
+class TestTripSimulator:
+    def test_free_flow_time(self, nav):
+        net, signals, sim = nav
+        seg = net.segment_between(0, 1)
+        assert sim.config.drive_time(seg) == pytest.approx(72.0, abs=0.01)
+
+    def test_no_wait_on_final_leg(self, nav):
+        net, signals, sim = nav
+        trip = sim.simulate_path([0, 1], depart_at=0.0)
+        assert trip.total_wait_s == 0.0
+        assert trip.total_time_s == pytest.approx(72.0, abs=0.01)
+
+    def test_wait_matches_ground_truth(self, nav):
+        net, signals, sim = nav
+        trip = sim.simulate_path([0, 1, 2], depart_at=0.0)
+        seg = net.segment_between(0, 1)
+        ctl = signals[1].controller_for_segment(seg)
+        expected = ctl.wait_if_arriving(72.0)
+        assert trip.legs[0].wait_s == pytest.approx(expected)
+
+    def test_trip_times_accumulate(self, nav):
+        net, signals, sim = nav
+        trip = sim.simulate_path([0, 1, 2, 5], depart_at=100.0)
+        assert trip.arrive_at == trip.legs[-1].arrive_at
+        assert trip.depart_at == 100.0
+        total = sum(l.arrive_at - l.depart_at for l in trip.legs)
+        assert trip.total_time_s == pytest.approx(total)
+
+    def test_invalid_path(self, nav):
+        _, _, sim = nav
+        with pytest.raises(ValueError):
+            sim.simulate_path([0, 8], depart_at=0.0)  # not adjacent
+        with pytest.raises(ValueError):
+            sim.simulate_path([0], depart_at=0.0)
+
+
+class TestRouters:
+    def test_shortest_drive_path_is_manhattan(self, nav):
+        net, _, sim = nav
+        path = shortest_drive_path(net, 0, 8, sim.config)
+        assert len(path) == 5  # 4 hops on a 3x3 grid
+
+    def test_enumeration_router_beats_or_ties_baseline(self, nav):
+        net, signals, sim = nav
+        provider = GroundTruthProvider(signals)
+        for depart in (0.0, 50.0, 111.0):
+            base = sim.simulate_path(shortest_drive_path(net, 0, 8), depart)
+            aware = navigate(sim, provider, 0, 8, depart)
+            assert aware.total_time_s <= base.total_time_s + 1e-6
+
+    def test_dijkstra_optimal_among_enumerated(self, nav):
+        net, signals, sim = nav
+        provider = GroundTruthProvider(signals)
+        for depart in (0.0, 77.0):
+            enum_trip = navigate(sim, provider, 0, 8, depart, strategy="enumerate")
+            dij_trip = navigate(sim, provider, 0, 8, depart, strategy="dijkstra")
+            assert dij_trip.total_time_s <= enum_trip.total_time_s + 1e-6
+
+    def test_time_dependent_dijkstra_path_valid(self, nav):
+        net, signals, sim = nav
+        provider = GroundTruthProvider(signals)
+        path = time_dependent_dijkstra(net, 0, 8, 0.0, provider, sim.config)
+        assert path[0] == 0 and path[-1] == 8
+        for u, w in zip(path[:-1], path[1:]):
+            assert net.segment_between(u, w) is not None
+
+    def test_zero_wait_provider_reduces_to_baseline_path(self, nav):
+        net, signals, sim = nav
+        router = EnumerationRouter(net, ZeroWaitProvider(), sim.config, extra_hops=0)
+        path = router.best_path(0, 8, 0.0)
+        assert len(path) == 5  # minimal hop count, no reason to detour
+
+    def test_estimated_provider_uses_given_schedules(self, nav):
+        net, signals, sim = nav
+        seg = net.segment_between(0, 1)
+        truth = signals[1].controller_for_segment(seg).schedule_at(0.0)
+        provider = EstimatedProvider({(1, seg.approach): truth})
+        assert provider.predicted_wait(seg, 72.0) == pytest.approx(
+            truth.wait_if_arriving(72.0)
+        )
+        # unknown light -> no predicted wait
+        other = net.segment_between(3, 4)
+        assert provider.predicted_wait(other, 72.0) == 0.0
+
+    def test_same_source_destination(self, nav):
+        net, signals, sim = nav
+        assert time_dependent_dijkstra(net, 4, 4, 0.0, ZeroWaitProvider()) == [4]
+        router = EnumerationRouter(net, ZeroWaitProvider())
+        assert router.best_path(4, 4, 0.0) == [4]
+
+    def test_unknown_strategy(self, nav):
+        net, signals, sim = nav
+        with pytest.raises(ValueError):
+            navigate(sim, ZeroWaitProvider(), 0, 8, 0.0, strategy="astar")
+
+
+class TestExperiment:
+    def test_random_signals_red_equals_green(self, rng):
+        net = grid_network(3, 3, 1000.0)
+        signals = make_random_signals(net, rng=rng)
+        for sig in signals.values():
+            ns = sig.schedule_at("NS", 0.0)
+            assert ns.red_s == pytest.approx(ns.green_s)
+            assert 120.0 <= ns.cycle_s <= 300.0
+
+    def test_experiment_shape(self):
+        buckets = run_navigation_experiment(
+            NavScenario(n_cols=4, n_rows=4),
+            hop_distances=(2, 4),
+            trips_per_distance=6,
+            seed=3,
+        )
+        assert len(buckets) == 2
+        for b in buckets:
+            assert b.n_trips > 0
+            assert b.aware_mean_s <= b.baseline_mean_s + 1e-6
+            assert b.row()
+
+    def test_savings_grow_with_distance(self):
+        buckets = run_navigation_experiment(
+            NavScenario(n_cols=5, n_rows=5),
+            hop_distances=(2, 6),
+            trips_per_distance=12,
+            seed=0,
+        )
+        assert buckets[1].saving_fraction >= buckets[0].saving_fraction - 0.05

@@ -1,0 +1,70 @@
+"""Unit tests for the process-pool fan-out utilities."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.pool import default_workers, pmap, pmap_seeded
+
+
+def square(x):
+    return x * x
+
+
+def draw(item, rng):
+    return item, int(rng.integers(1_000_000))
+
+
+class TestDefaultWorkers:
+    def test_explicit(self):
+        assert default_workers(3) == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            default_workers(0)
+
+    def test_capped(self):
+        assert 1 <= default_workers() <= 8
+
+
+class TestPmap:
+    def test_order_preserved_serial(self):
+        assert pmap(square, range(10), serial=True) == [x * x for x in range(10)]
+
+    def test_order_preserved_parallel(self):
+        out = pmap(square, range(50), max_workers=4)
+        assert out == [x * x for x in range(50)]
+
+    def test_empty(self):
+        assert pmap(square, []) == []
+
+    def test_single_item_stays_inline(self):
+        assert pmap(square, [7]) == [49]
+
+    def test_parallel_equals_serial(self):
+        items = list(range(37))
+        assert pmap(square, items, max_workers=3) == pmap(square, items, serial=True)
+
+
+class TestPmapSeeded:
+    def test_deterministic_across_worker_counts(self):
+        items = list(range(20))
+        a = pmap_seeded(draw, items, base_seed=5, serial=True)
+        b = pmap_seeded(draw, items, base_seed=5, max_workers=4)
+        c = pmap_seeded(draw, items, base_seed=5, max_workers=2)
+        assert a == b == c
+
+    def test_different_base_seed_differs(self):
+        items = list(range(10))
+        a = pmap_seeded(draw, items, base_seed=1, serial=True)
+        b = pmap_seeded(draw, items, base_seed=2, serial=True)
+        assert a != b
+
+    def test_items_get_independent_streams(self):
+        out = pmap_seeded(draw, [0] * 20, base_seed=9, serial=True)
+        values = [v for _, v in out]
+        assert len(set(values)) > 1
+
+    def test_empty(self):
+        assert pmap_seeded(draw, [], base_seed=0) == []

@@ -1,0 +1,86 @@
+"""Unit tests for per-light partitioning (§IV)."""
+
+import numpy as np
+import pytest
+
+from repro.matching.mapmatch import match_trace
+from repro.matching.partition import partition_by_light
+from repro.network.roadnet import Approach, Intersection, RoadNetwork, Segment, grid_network
+from repro.trace.records import TraceArrays
+
+
+class TestPartitionStructure:
+    def test_every_light_covered(self, trace, city, partitions):
+        # 2x2 grid: 4 signalized intersections x 2 approach groups
+        assert len(partitions) == 8
+        for (iid, app), p in partitions.items():
+            assert p.intersection_id == iid and p.approach == app
+
+    def test_partition_contents_match_segment_geometry(self, trace, city, partitions):
+        net = city.net
+        for key, p in partitions.items():
+            iid, app = key
+            for sid in np.unique(p.segment_id):
+                seg = net.segments[int(sid)]
+                assert seg.to_id == iid
+                assert seg.approach == app
+
+    def test_traces_time_sorted(self, partitions):
+        for p in partitions.values():
+            assert np.all(np.diff(p.trace.t) >= 0)
+
+    def test_dist_to_stopline_in_range(self, city, partitions):
+        for p in partitions.values():
+            assert np.all(p.dist_to_stopline_m >= 0)
+            max_len = max(s.length for s in city.net.segments)
+            assert np.all(p.dist_to_stopline_m <= max_len + 1e-6)
+
+    def test_no_record_lost_or_duplicated(self, trace, city, partitions):
+        m = match_trace(trace, city.net)
+        matched, _ = m.matched_only()
+        total = sum(len(p) for p in partitions.values())
+        assert total == len(matched)
+
+    def test_records_per_hour(self, partitions):
+        for p in partitions.values():
+            assert p.records_per_hour() > 0
+
+    def test_time_window(self, partitions):
+        p = next(iter(partitions.values()))
+        w = p.time_window(100.0, 1000.0)
+        assert np.all((w.trace.t >= 100.0) & (w.trace.t < 1000.0))
+        assert len(w.segment_id) == len(w.trace)
+        assert len(w.dist_to_stopline_m) == len(w.trace)
+
+
+class TestUnsignalized:
+    def test_records_at_unsignalized_nodes_dropped(self):
+        # one signalized core fed by an unsignalized feeder; trace points
+        # near the feeder's own incoming segment must not create a light
+        nodes = [
+            Intersection(0, 0.0, 0.0, signalized=True),
+            Intersection(1, 400.0, 0.0, signalized=False),
+        ]
+        segs = [
+            Segment(0, 1, 0, ax=400.0, ay=0.0, bx=0.0, by=0.0),  # into the light
+            Segment(1, 0, 1, ax=0.0, ay=0.0, bx=400.0, by=0.0),  # away from it
+        ]
+        net = RoadNetwork(nodes, segs)
+        lon, lat = net.frame.to_geographic(np.array([200.0, 200.0]), np.zeros(2))
+        tr = TraceArrays(
+            taxi_id=[1, 2],
+            t=[0.0, 1.0],
+            lon=lon,
+            lat=lat,
+            speed_kmh=[10.0, 10.0],
+            heading_deg=[270.0, 90.0],  # one per direction
+        )
+        parts = partition_by_light(match_trace(tr, net), net)
+        # only the westbound record (into node 0) survives
+        assert list(parts) == [(0, Approach.EW)]
+        assert len(parts[(0, Approach.EW)]) == 1
+
+    def test_empty_match_gives_empty_partitions(self):
+        net = grid_network(2, 2)
+        parts = partition_by_light(match_trace(TraceArrays.empty(), net), net)
+        assert parts == {}

@@ -1,0 +1,111 @@
+"""Unit + property tests for repro.trace.records."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.records import (
+    BODY_COLORS,
+    TaxiRecord,
+    TraceArrays,
+    plate_of,
+    sim_card_of,
+)
+
+
+def small_trace(n=6):
+    rng = np.random.default_rng(0)
+    return TraceArrays(
+        taxi_id=rng.integers(10, 15, n),
+        t=rng.uniform(0, 1000, n),
+        lon=114.05 + rng.uniform(-0.01, 0.01, n),
+        lat=22.54 + rng.uniform(-0.01, 0.01, n),
+        speed_kmh=rng.uniform(0, 60, n),
+        heading_deg=rng.uniform(0, 360, n),
+        passenger=rng.uniform(size=n) < 0.5,
+    )
+
+
+class TestConstruction:
+    def test_defaults_filled(self):
+        tr = TraceArrays([1], [0.0], [114.0], [22.5], [30.0])
+        assert tr.gps_ok.all() and not tr.overspeed.any() and not tr.passenger.any()
+        assert tr.device_id[0] == 700_001
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TraceArrays([1, 2], [0.0], [114.0], [22.5], [30.0])
+
+    def test_empty(self):
+        assert len(TraceArrays.empty()) == 0
+
+
+class TestSelection:
+    def test_subset_by_mask(self):
+        tr = small_trace(10)
+        sub = tr.subset(tr.speed_kmh > 30)
+        assert np.all(sub.speed_kmh > 30)
+
+    def test_sorted_by_time(self):
+        tr = small_trace(20)
+        s = tr.sorted_by_time()
+        assert np.all(np.diff(s.t) >= 0)
+        assert len(s) == len(tr)
+
+    def test_sorted_by_taxi_then_time(self):
+        s = small_trace(30).sorted_by_taxi_then_time()
+        key = s.taxi_id * 1e7 + s.t
+        assert np.all(np.diff(key) >= 0)
+
+    def test_time_window(self):
+        tr = small_trace(50)
+        w = tr.time_window(100.0, 500.0)
+        assert np.all((w.t >= 100.0) & (w.t < 500.0))
+
+    def test_concat(self):
+        a, b = small_trace(5), small_trace(7)
+        c = TraceArrays.concat([a, b])
+        assert len(c) == 12
+        np.testing.assert_array_equal(c.t[:5], a.t)
+
+    def test_concat_empty(self):
+        assert len(TraceArrays.concat([])) == 0
+        assert len(TraceArrays.concat([TraceArrays.empty()])) == 0
+
+
+class TestRecordConversion:
+    def test_roundtrip_through_records(self):
+        tr = small_trace(8)
+        back = TraceArrays.from_records(tr.to_records())
+        np.testing.assert_array_equal(back.taxi_id, tr.taxi_id)
+        np.testing.assert_allclose(back.t, tr.t)
+        np.testing.assert_allclose(back.lon, tr.lon)
+        np.testing.assert_array_equal(back.passenger, tr.passenger)
+
+    def test_record_fields(self):
+        tr = small_trace(1)
+        rec = tr.to_records()[0]
+        assert isinstance(rec, TaxiRecord)
+        assert rec.plate == plate_of(int(tr.taxi_id[0]))
+        assert rec.sim_card == sim_card_of(int(tr.taxi_id[0]))
+        assert rec.color in BODY_COLORS
+
+    def test_from_records_empty(self):
+        assert len(TraceArrays.from_records([])) == 0
+
+
+@given(
+    taxi_ids=st.lists(st.integers(0, 99_999), min_size=1, max_size=30),
+)
+@settings(max_examples=30)
+def test_property_roundtrip_preserves_ids(taxi_ids):
+    n = len(taxi_ids)
+    tr = TraceArrays(
+        taxi_id=taxi_ids,
+        t=np.arange(n, dtype=float),
+        lon=np.full(n, 114.05),
+        lat=np.full(n, 22.54),
+        speed_kmh=np.zeros(n),
+    )
+    back = TraceArrays.from_records(tr.to_records())
+    np.testing.assert_array_equal(back.taxi_id, tr.taxi_id)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.network.roadnet."""
+
+import numpy as np
+import pytest
+
+from repro.network.roadnet import Approach, Intersection, RoadNetwork, Segment, grid_network
+
+
+class TestApproach:
+    @pytest.mark.parametrize("h,expected", [
+        (0.0, "NS"), (180.0, "NS"), (44.0, "NS"), (316.0, "NS"),
+        (90.0, "EW"), (270.0, "EW"), (46.0, "EW"), (134.0, "EW"),
+    ])
+    def test_classification(self, h, expected):
+        assert Approach.of_heading(h) == expected
+
+
+class TestSegment:
+    def test_length_and_heading(self):
+        s = Segment(0, 0, 1, ax=0, ay=0, bx=0, by=500)
+        assert s.length == pytest.approx(500.0)
+        assert s.heading == pytest.approx(0.0)  # due north
+        assert s.approach == Approach.NS
+
+    def test_point_at_stopline(self):
+        s = Segment(0, 0, 1, ax=0, ay=0, bx=100, by=0)
+        assert s.point_at(0.0) == (pytest.approx(100.0), pytest.approx(0.0))
+
+    def test_point_at_upstream(self):
+        s = Segment(0, 0, 1, ax=0, ay=0, bx=100, by=0)
+        x, y = s.point_at(30.0)
+        assert x == pytest.approx(70.0)
+
+    def test_point_at_clamps(self):
+        s = Segment(0, 0, 1, ax=0, ay=0, bx=100, by=0)
+        assert s.point_at(1e9) == (pytest.approx(0.0), pytest.approx(0.0))
+
+
+class TestGridNetwork:
+    def test_counts(self):
+        net = grid_network(3, 2, 500.0)
+        assert len(net.intersections) == 6
+        # edges: horizontal 2*2=4, vertical 3*1=3 -> 7 roads, 14 directed
+        assert len(net.segments) == 14
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            grid_network(1, 5)
+
+    def test_incoming_outgoing_consistency(self):
+        net = grid_network(3, 3)
+        for node in net.intersections:
+            for seg in net.incoming(node.id):
+                assert seg.to_id == node.id
+            for seg in net.outgoing(node.id):
+                assert seg.from_id == node.id
+
+    def test_corner_has_two_neighbors(self):
+        net = grid_network(3, 3)
+        assert sorted(net.neighbors(0)) == [1, 3]
+
+    def test_center_has_four_neighbors(self):
+        net = grid_network(3, 3)
+        assert len(net.neighbors(4)) == 4
+
+    def test_segment_between(self):
+        net = grid_network(2, 2)
+        seg = net.segment_between(0, 1)
+        assert seg is not None and seg.from_id == 0 and seg.to_id == 1
+        assert net.segment_between(0, 3) is None  # diagonal
+
+    def test_approach_groups_cover_all_incoming(self):
+        net = grid_network(3, 3)
+        groups = net.approaches(4)
+        total = len(groups[Approach.NS]) + len(groups[Approach.EW])
+        assert total == len(net.incoming(4)) == 4
+
+    def test_geometry_tables_match_segments(self):
+        net = grid_network(2, 3, 250.0)
+        for seg in net.segments:
+            assert net.seg_ax[seg.id] == seg.ax
+            assert net.seg_to[seg.id] == seg.to_id
+            assert net.seg_heading[seg.id] == pytest.approx(seg.heading)
+
+    def test_to_networkx(self):
+        net = grid_network(2, 2, 100.0)
+        g = net.to_networkx()
+        assert g.number_of_nodes() == 4
+        assert g.number_of_edges() == len(net.segments)
+        assert g[0][1]["length"] == pytest.approx(100.0)
+
+
+class TestValidation:
+    def test_nondense_intersection_ids_rejected(self):
+        with pytest.raises(ValueError):
+            RoadNetwork([Intersection(1, 0, 0)], [])
+
+    def test_segment_referencing_unknown_node_rejected(self):
+        nodes = [Intersection(0, 0, 0), Intersection(1, 100, 0)]
+        segs = [Segment(0, 0, 7, 0, 0, 100, 0)]
+        with pytest.raises(ValueError):
+            RoadNetwork(nodes, segs)
+
+    def test_nondense_segment_ids_rejected(self):
+        nodes = [Intersection(0, 0, 0), Intersection(1, 100, 0)]
+        segs = [Segment(5, 0, 1, 0, 0, 100, 0)]
+        with pytest.raises(ValueError):
+            RoadNetwork(nodes, segs)
+
+    def test_signalized_filter(self):
+        nodes = [Intersection(0, 0, 0, signalized=True), Intersection(1, 1, 0, signalized=False)]
+        net = RoadNetwork(nodes, [])
+        assert [n.id for n in net.signalized_intersections()] == [0]

@@ -1,0 +1,89 @@
+"""Unit tests for the canned scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.scenario.shenzhen import TABLE2, shenzhen_scenario
+from repro.scenario.small import small_scenario
+
+
+class TestTable2:
+    def test_nine_rows(self):
+        assert len(TABLE2) == 9
+        assert [r.id for r in TABLE2] == list(range(1, 10))
+
+    def test_paper_values(self):
+        busiest = max(TABLE2, key=lambda r: r.records_per_hour)
+        idlest = min(TABLE2, key=lambda r: r.records_per_hour)
+        assert busiest.records_per_hour == 5071 and busiest.id == 1
+        assert idlest.records_per_hour == 198 and idlest.id == 5
+        # the paper highlights the ~25x imbalance
+        assert busiest.records_per_hour / idlest.records_per_hour == pytest.approx(25.6, abs=0.5)
+
+    def test_locations_in_shenzhen(self):
+        for row in TABLE2:
+            assert 113.5 < row.lon < 114.5
+            assert 22.3 < row.lat < 22.8
+
+
+class TestShenzhenScenario:
+    @pytest.fixture(scope="class")
+    def scn(self):
+        return shenzhen_scenario()
+
+    def test_structure(self, scn):
+        # 9 cores + 36 feeders; 36 approaches + 36 exits
+        assert len(scn.net.intersections) == 45
+        assert len(scn.net.segments) == 72
+        assert len(scn.net.signalized_intersections()) == 9
+
+    def test_every_core_has_four_approaches(self, scn):
+        for i in range(9):
+            assert len(scn.net.incoming(i)) == 4
+            groups = scn.net.approaches(i)
+            assert len(groups["NS"]) == 2 and len(groups["EW"]) == 2
+
+    def test_rates_follow_table2(self, scn):
+        rates = [scn.intersection_rate(i) for i in range(9)]
+        recs = [row.records_per_hour for row in TABLE2]
+        # arrival rates must be proportional to Table II record rates
+        ratio = np.array(rates) / np.array(recs)
+        assert ratio.std() / ratio.mean() < 1e-9
+
+    def test_preprogrammed_downtown(self, scn):
+        # intersections 0 and 6 (Table II ids 1 and 7) switch plans
+        ns0 = scn.signals[0].controllers["NS"]
+        assert len(ns0.plan_switch_times(0.0, 86_400.0)) >= 2
+        ns2 = scn.signals[2].controllers["NS"]
+        assert ns2.plan_switch_times(0.0, 86_400.0) == []
+
+    def test_peak_plan_has_longer_cycle(self, scn):
+        off = scn.truth_at(0, "NS", 3 * 3600.0)
+        peak = scn.truth_at(0, "NS", 8 * 3600.0)
+        assert peak.cycle_s > off.cycle_s
+
+    def test_deterministic(self):
+        a, b = shenzhen_scenario(seed=1), shenzhen_scenario(seed=1)
+        for i in range(9):
+            assert a.plans[i][0].cycle_s == b.plans[i][0].cycle_s
+
+    def test_simulation_builds(self, scn):
+        sim = scn.simulation()
+        specs = sim.specs(0.0, 100.0)
+        assert len(specs) == 36  # only the approaches are simulated
+
+
+class TestSmallScenario:
+    def test_known_truth(self):
+        scn = small_scenario(cycle_s=98.0, ns_red_s=39.0)
+        for i in range(4):
+            ns = scn.truth_at(i, "NS", 0.0)
+            ew = scn.truth_at(i, "EW", 0.0)
+            assert ns.cycle_s == ew.cycle_s == 98.0
+            assert ns.red_s == pytest.approx(39.0)
+            assert ew.red_s == pytest.approx(59.0)
+
+    def test_simulation_runs(self):
+        scn = small_scenario()
+        res = scn.simulation().run(0.0, 300.0, seed=0, serial=True)
+        assert res.n_vehicles() > 0

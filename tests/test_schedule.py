@@ -1,0 +1,162 @@
+"""Unit + property tests for repro.lights.schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lights.schedule import LightSchedule, Phase
+
+
+def schedules():
+    # build (cycle, red fraction, offset) so red < cycle always holds
+    return st.tuples(
+        st.floats(10.0, 300.0),
+        st.floats(0.05, 0.95),
+        st.floats(0.0, 500.0),
+    ).map(lambda t: LightSchedule(t[0], t[0] * t[1], t[2]))
+
+
+class TestConstruction:
+    def test_green_is_complement(self):
+        s = LightSchedule(98, 39, 0)
+        assert s.green_s == pytest.approx(59)
+
+    def test_rejects_red_ge_cycle(self):
+        with pytest.raises(ValueError):
+            LightSchedule(98, 98, 0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LightSchedule(0, -1, 0)
+
+
+class TestPhases:
+    def test_red_at_offset(self):
+        s = LightSchedule(98, 39, offset_s=10)
+        assert s.phase(10.0) == Phase.RED
+        assert s.phase(48.9) == Phase.RED
+        assert s.phase(49.0) == Phase.GREEN
+        assert s.phase(9.9) == Phase.GREEN
+
+    def test_vectorized_is_red(self):
+        s = LightSchedule(98, 39, 0)
+        t = np.array([0.0, 38.9, 39.0, 97.9, 98.0])
+        np.testing.assert_array_equal(s.is_red(t), [True, True, False, False, True])
+
+    @given(s=schedules(), t=st.floats(-1e4, 1e4))
+    def test_periodicity(self, s, t):
+        # skip points within float fuzz of a phase boundary
+        local = float(s.time_in_cycle(t))
+        boundary_dist = min(
+            local, abs(local - s.red_s), abs(local - s.cycle_s)
+        )
+        if boundary_dist < 1e-6:
+            return
+        assert bool(s.is_red(t)) == bool(s.is_red(t + s.cycle_s))
+
+    @given(s=schedules(), t=st.floats(-1e4, 1e4))
+    def test_red_xor_green(self, s, t):
+        assert bool(s.is_red(t)) != bool(s.is_green(t))
+
+    @given(s=schedules())
+    def test_red_fraction_matches_duty(self, s):
+        t = s.offset_s + np.linspace(0, s.cycle_s, 10000, endpoint=False)
+        frac = float(np.mean(s.is_red(t)))
+        assert frac == pytest.approx(s.red_s / s.cycle_s, abs=0.01)
+
+
+class TestChanges:
+    def test_next_change_from_red(self):
+        s = LightSchedule(98, 39, 0)
+        t, phase = s.next_change(10.0)
+        assert t == pytest.approx(39.0) and phase == Phase.GREEN
+
+    def test_next_change_from_green(self):
+        s = LightSchedule(98, 39, 0)
+        t, phase = s.next_change(50.0)
+        assert t == pytest.approx(98.0) and phase == Phase.RED
+
+    @given(s=schedules(), t=st.floats(0, 1e4))
+    def test_next_change_flips_phase(self, s, t):
+        tc, new_phase = s.next_change(t)
+        assert tc > t
+        assert s.phase(tc + 1e-6) == new_phase
+        assert s.phase(t) != new_phase or True  # phase at t may equal boundary
+
+    def test_wait_if_arriving(self):
+        s = LightSchedule(98, 39, 0)
+        assert s.wait_if_arriving(0.0) == pytest.approx(39.0)
+        assert s.wait_if_arriving(30.0) == pytest.approx(9.0)
+        assert s.wait_if_arriving(50.0) == 0.0
+
+    @given(s=schedules(), t=st.floats(0, 1e4))
+    def test_wait_bounded_by_red(self, s, t):
+        w = s.wait_if_arriving(t)
+        assert 0.0 <= w <= s.red_s + 1e-9
+        if w > 0:
+            # after waiting the light must be green
+            assert bool(s.is_green(t + w + 1e-6))
+
+    def test_change_times_in_cycle(self):
+        s = LightSchedule(98, 39, offset_s=200)  # offset > cycle
+        assert s.green_to_red_in_cycle == pytest.approx(200 % 98)
+        assert s.red_to_green_in_cycle == pytest.approx((200 + 39) % 98)
+
+
+class TestRedIntervals:
+    def test_intervals_cover_reds(self):
+        s = LightSchedule(100, 40, 0)
+        iv = s.red_intervals(0.0, 250.0)
+        np.testing.assert_allclose(iv, [[0, 40], [100, 140], [200, 240]])
+
+    def test_clipping(self):
+        s = LightSchedule(100, 40, 0)
+        iv = s.red_intervals(20.0, 110.0)
+        np.testing.assert_allclose(iv, [[20, 40], [100, 110]])
+
+    def test_empty_window(self):
+        s = LightSchedule(100, 40, 0)
+        assert s.red_intervals(50.0, 50.0).shape == (0, 2)
+
+    @given(s=schedules(), t0=st.floats(0, 1000), span=st.floats(1, 500))
+    def test_total_red_time_fraction(self, s, t0, span):
+        iv = s.red_intervals(t0, t0 + span)
+        total = float(np.sum(iv[:, 1] - iv[:, 0])) if iv.size else 0.0
+        assert 0.0 <= total <= span + 1e-6
+
+
+class TestComplement:
+    @given(s=schedules(), t=st.floats(0, 1e4))
+    def test_complement_is_opposite(self, s, t):
+        local = float(s.time_in_cycle(t))
+        boundary_dist = min(
+            local, abs(local - s.red_s), abs(local - s.cycle_s)
+        )
+        if boundary_dist < 1e-6:
+            return
+        c = s.complement()
+        assert bool(s.is_red(t)) == bool(c.is_green(t))
+
+    @given(s=schedules())
+    def test_complement_shares_cycle(self, s):
+        assert s.complement().cycle_s == s.cycle_s
+
+    @given(s=schedules())
+    def test_double_complement_same_signal(self, s):
+        assert s.complement().complement().describes_same_signal(s, tol_s=1e-6)
+
+
+class TestEquivalence:
+    def test_offset_modulo_cycle_same_signal(self):
+        a = LightSchedule(98, 39, 10)
+        b = LightSchedule(98, 39, 10 + 98 * 3)
+        assert a.describes_same_signal(b)
+
+    def test_different_red_not_same(self):
+        a = LightSchedule(98, 39, 0)
+        b = LightSchedule(98, 40, 0)
+        assert not a.describes_same_signal(b)
+
+    def test_shifted(self):
+        s = LightSchedule(98, 39, 0).shifted(10.0)
+        assert s.offset_s == pytest.approx(10.0)

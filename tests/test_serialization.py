@@ -1,0 +1,86 @@
+"""Unit tests for network/plan JSON serialization."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.lights.intersection import SignalPlan
+from repro.network.roadnet import grid_network
+from repro.network.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    plans_from_dict,
+    plans_to_dict,
+    save_network,
+)
+from repro.scenario import shenzhen_scenario
+
+
+class TestNetworkRoundtrip:
+    def test_grid_roundtrip(self):
+        net = grid_network(3, 2, 450.0)
+        back = network_from_dict(network_to_dict(net))
+        assert len(back.intersections) == len(net.intersections)
+        assert len(back.segments) == len(net.segments)
+        for a, b in zip(net.segments, back.segments):
+            assert (a.ax, a.ay, a.bx, a.by) == (b.ax, b.ay, b.bx, b.by)
+            assert a.from_id == b.from_id and a.to_id == b.to_id
+        assert back.frame.origin_lon == net.frame.origin_lon
+
+    def test_shenzhen_roundtrip_with_plans(self):
+        scn = shenzhen_scenario()
+        buf = io.StringIO()
+        save_network(scn.net, buf, plans=scn.plans)
+        buf.seek(0)
+        net, plans = load_network(buf)
+        assert len(net.intersections) == 45
+        assert plans is not None and set(plans) == set(scn.plans)
+        for iid in scn.plans:
+            for a, b in zip(scn.plans[iid], plans[iid]):
+                assert a.cycle_s == b.cycle_s
+                assert a.ns_red_s == b.ns_red_s
+                assert a.offset_s == pytest.approx(b.offset_s)
+                assert a.start_second_of_day == b.start_second_of_day
+
+    def test_no_plans_returns_none(self):
+        net = grid_network(2, 2)
+        buf = io.StringIO()
+        save_network(net, buf)
+        buf.seek(0)
+        _, plans = load_network(buf)
+        assert plans is None
+
+    def test_geometry_tables_rebuilt(self):
+        net = grid_network(2, 2, 300.0)
+        back = network_from_dict(network_to_dict(net))
+        np.testing.assert_allclose(back.seg_heading, net.seg_heading)
+        np.testing.assert_array_equal(back.seg_to, net.seg_to)
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a repro"):
+            network_from_dict({"format": "gpx"})
+
+    def test_rejects_wrong_version(self):
+        doc = network_to_dict(grid_network(2, 2))
+        doc["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            network_from_dict(doc)
+
+
+class TestPlans:
+    def test_plan_dict_roundtrip(self):
+        plans = {
+            0: [SignalPlan(98.0, 39.0, 5.0)],
+            3: [
+                SignalPlan(98.0, 39.0, 5.0, start_second_of_day=0.0),
+                SignalPlan(140.0, 70.0, 5.0, start_second_of_day=7 * 3600.0),
+            ],
+        }
+        back = plans_from_dict(plans_to_dict(plans))
+        assert set(back) == {0, 3}
+        assert len(back[3]) == 2
+        assert back[3][1].cycle_s == 140.0

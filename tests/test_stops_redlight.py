@@ -1,0 +1,234 @@
+"""Unit tests for stop extraction (§VI.A) and red-duration estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.redlight import (
+    RedConfig,
+    estimate_red_duration,
+    estimate_red_from_stops,
+    refine_red_from_change,
+)
+from repro.core.signal_types import InsufficientDataError
+from repro.core.stops import StopEvents, extract_stops
+from repro.matching.partition import LightPartition
+from repro.network.geometry import LocalFrame
+from repro.trace.records import TraceArrays
+
+
+def make_partition(t, x_m, taxi_id, speed=None, passenger=None, frame=None):
+    """Partition with records along an east-west street at y=0,
+    x measured so that the stop line sits at x=0 (dist = x)."""
+    frame = frame or LocalFrame()
+    t = np.asarray(t, dtype=float)
+    x = np.asarray(x_m, dtype=float)
+    lon, lat = frame.to_geographic(-x, np.zeros_like(x))
+    n = t.size
+    tr = TraceArrays(
+        taxi_id=np.asarray(taxi_id, dtype=np.int64),
+        t=t,
+        lon=lon,
+        lat=lat,
+        speed_kmh=np.zeros(n) if speed is None else np.asarray(speed, float),
+        passenger=np.zeros(n, bool) if passenger is None else np.asarray(passenger, bool),
+    )
+    order = np.argsort(t, kind="stable")
+    return LightPartition(
+        intersection_id=0,
+        approach="EW",
+        trace=tr.subset(order),
+        segment_id=np.zeros(n, dtype=np.int64),
+        dist_to_stopline_m=x[order],
+    )
+
+
+class TestExtractStops:
+    def test_single_stop(self):
+        # taxi reports at the same spot from t=100..160, then moves
+        p = make_partition(
+            t=[100, 120, 140, 160, 180],
+            x_m=[30, 30, 30, 30, 300],
+            taxi_id=[1] * 5,
+            speed=[0, 0, 0, 0, 40],
+        )
+        stops = extract_stops(p)
+        assert len(stops) == 1
+        assert stops.t_start[0] == 100 and stops.t_end[0] == 160
+        assert stops.duration_s[0] == pytest.approx(60.0)
+        assert stops.n_records[0] == 4
+
+    def test_moving_taxi_no_stop(self):
+        p = make_partition(
+            t=[0, 20, 40],
+            x_m=[300, 150, 10],
+            taxi_id=[1] * 3,
+            speed=[40, 40, 40],
+        )
+        assert len(extract_stops(p)) == 0
+
+    def test_stops_split_per_taxi(self):
+        p = make_partition(
+            t=[0, 20, 0, 20],
+            x_m=[30, 30, 50, 50],
+            taxi_id=[1, 1, 2, 2],
+        )
+        stops = extract_stops(p)
+        assert len(stops) == 2
+        assert set(stops.taxi_id) == {1, 2}
+
+    def test_far_upstream_stop_ignored(self):
+        p = make_partition(
+            t=[0, 30],
+            x_m=[400, 400],  # 400 m from the light: not this queue
+            taxi_id=[1, 1],
+        )
+        assert len(extract_stops(p, max_dist_to_stopline_m=150.0)) == 0
+
+    def test_passenger_change_flagged(self):
+        p = make_partition(
+            t=[0, 20, 40],
+            x_m=[30, 30, 30],
+            taxi_id=[1] * 3,
+            passenger=[False, False, True],
+        )
+        stops = extract_stops(p)
+        assert len(stops) == 1 and bool(stops.passenger_changed[0])
+
+    def test_fast_same_position_not_a_stop(self):
+        # GPS glitch: same position but odometer says moving
+        p = make_partition(
+            t=[0, 20],
+            x_m=[30, 30],
+            taxi_id=[1, 1],
+            speed=[35, 35],
+        )
+        assert len(extract_stops(p)) == 0
+
+    def test_time_window_on_events(self):
+        p = make_partition(
+            t=[0, 20, 1000, 1020],
+            x_m=[30, 30, 40, 40],
+            taxi_id=[1, 1, 1, 1],
+        )
+        stops = extract_stops(p)
+        # the 980 s "gap" between the two parked spells joins them only
+        # if displacement is small; here both at ~same x so one long event
+        windowed = stops.time_window(0.0, 500.0)
+        assert all(s < 500.0 for s in windowed.t_start)
+
+    def test_empty_partition(self):
+        p = make_partition(t=[], x_m=[], taxi_id=[])
+        assert len(extract_stops(p)) == 0
+
+
+def stop_durations(rng, red=39.0, n=200, interval=15.0, error_frac=0.08, cycle=98.0):
+    """Synthetic observed stop durations: uniform waits minus sampling
+    truncation, plus a sprinkle of longer errors."""
+    waits = rng.uniform(3.0, red, n)
+    obs = np.maximum(waits - rng.uniform(0, interval, n) * 0.7, 1.0)
+    n_err = int(error_frac * n)
+    errors = rng.uniform(red, cycle * 1.1, n_err)
+    return np.concatenate([obs, errors])
+
+
+class TestEstimateRedDuration:
+    def test_recovers_red(self, rng):
+        d = stop_durations(rng, red=39.0, interval=15.0)
+        est = estimate_red_duration(d, 98.0, mean_interval_s=15.0)
+        assert est.red_s == pytest.approx(39.0, abs=8.0)
+
+    def test_recovers_longer_red(self, rng):
+        d = stop_durations(rng, red=63.0, n=400, interval=20.14, cycle=106.0)
+        est = estimate_red_duration(d, 106.0, mean_interval_s=20.14)
+        assert est.red_s == pytest.approx(63.0, abs=10.0)
+
+    def test_rejects_durations_beyond_cycle(self, rng):
+        d = np.concatenate([stop_durations(rng), np.array([150.0, 200.0])])
+        est = estimate_red_duration(d, 98.0, mean_interval_s=15.0)
+        assert est.n_stops_rejected >= 2
+
+    def test_histogram_exposed(self, rng):
+        est = estimate_red_duration(stop_durations(rng), 98.0, mean_interval_s=15.0)
+        assert est.bin_counts.sum() == est.n_stops_used
+        assert est.bin_edges.size == est.bin_counts.size + 1
+        assert 0 <= est.border_bin < est.bin_counts.size
+
+    def test_insufficient_raises(self):
+        with pytest.raises(InsufficientDataError):
+            estimate_red_duration(np.array([10.0, 20.0]), 98.0)
+
+    def test_red_never_exceeds_cycle(self, rng):
+        d = rng.uniform(90.0, 98.0, 50)
+        est = estimate_red_duration(d, 98.0, mean_interval_s=15.0)
+        assert est.red_s <= 98.0
+
+
+class TestEstimateRedFromStops:
+    def make_stops(self, rng, red=39.0):
+        durations = stop_durations(rng, red=red)
+        n = durations.size
+        changed = np.zeros(n, bool)
+        # tag the error stops as passenger events (they mostly are)
+        changed[-int(0.08 * 200):] = True
+        return StopEvents(
+            taxi_id=np.arange(n),
+            t_start=np.zeros(n),
+            t_end=durations,
+            passenger_changed=changed,
+            dist_to_stopline_m=np.full(n, 30.0),
+            n_records=np.maximum((durations // 15).astype(np.int64), 1) + 1,
+        )
+
+    def test_passenger_filter_applied(self, rng):
+        stops = self.make_stops(rng)
+        est = estimate_red_from_stops(stops, 98.0, mean_interval_s=15.0)
+        assert est.n_stops_used <= len(stops)
+
+    def test_filter_ablation_runs(self, rng):
+        stops = self.make_stops(rng)
+        est = estimate_red_from_stops(
+            stops, 98.0, mean_interval_s=15.0, drop_passenger_changes=False
+        )
+        assert est.n_stops_used >= 200
+
+
+class TestRefineRedFromChange:
+    def test_refines_with_aligned_stops(self, rng):
+        cycle, red, r2g = 98.0, 39.0, 500.0
+        n = 80
+        waits = rng.uniform(2.0, red, n)
+        k = rng.integers(0, 30, n)
+        ends = r2g + k * cycle + rng.normal(0, 2.0, n)
+        starts = ends - waits
+        stops = StopEvents(
+            taxi_id=np.arange(n),
+            t_start=starts,
+            t_end=ends,
+            passenger_changed=np.zeros(n, bool),
+            dist_to_stopline_m=np.full(n, 30.0),
+            n_records=np.full(n, 4, dtype=np.int64),
+        )
+        refined = refine_red_from_change(stops, cycle, r2g)
+        assert refined == pytest.approx(red, abs=6.0)
+
+    def test_none_when_too_few(self):
+        stops = StopEvents.empty()
+        assert refine_red_from_change(stops, 98.0, 100.0) is None
+
+    def test_none_when_unaligned(self, rng):
+        n = 30
+        stops = StopEvents(
+            taxi_id=np.arange(n),
+            t_start=rng.uniform(0, 1000, n),
+            t_end=rng.uniform(1000, 2000, n),
+            passenger_changed=np.zeros(n, bool),
+            dist_to_stopline_m=np.full(n, 30.0),
+            n_records=np.full(n, 3, dtype=np.int64),
+        )
+        # random ends: few align within tolerance of any one phase
+        out = refine_red_from_change(stops, 98.0, 55.0, align_tol_s=2.0, min_aligned=15)
+        assert out is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            refine_red_from_change(StopEvents.empty(), 98.0, 0.0, quantile=1.5)

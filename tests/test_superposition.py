@@ -1,0 +1,100 @@
+"""Unit + property tests for data superposition (§VI.B)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.superposition import cycle_profile, fold_samples, fold_times
+
+
+class TestFoldTimes:
+    def test_basic_modulo(self):
+        out = fold_times(np.array([0.0, 98.0, 150.0]), 98.0)
+        np.testing.assert_allclose(out, [0.0, 0.0, 52.0])
+
+    def test_anchor_shifts(self):
+        out = fold_times(np.array([100.0]), 98.0, anchor=10.0)
+        assert out[0] == pytest.approx(90.0 % 98.0)
+
+    def test_rejects_bad_cycle(self):
+        with pytest.raises(ValueError):
+            fold_times(np.array([1.0]), 0.0)
+
+    @given(
+        times=st.lists(st.floats(0, 1e5), min_size=1, max_size=50),
+        cycle=st.floats(1.0, 400.0),
+    )
+    @settings(max_examples=40)
+    def test_property_range(self, times, cycle):
+        out = fold_times(np.array(times), cycle)
+        assert np.all((out >= 0) & (out < cycle))
+
+    @given(
+        t=st.floats(0, 1e4),
+        k=st.integers(0, 20),
+        cycle=st.floats(1.0, 400.0),
+    )
+    @settings(max_examples=40)
+    def test_property_index_preserved(self, t, k, cycle):
+        """'Data superposition will keep the relative index of data
+        within a cycle' — the fold is invariant to whole-cycle shifts."""
+        from repro._util import circular_diff
+        a = float(fold_times(np.array([t]), cycle)[0])
+        b = float(fold_times(np.array([t + k * cycle]), cycle)[0])
+        # equality is circular: float fuzz may express 0 as ~cycle
+        assert abs(float(circular_diff(a, b, cycle))) < 1e-6 * max(1, k) + 1e-9
+
+
+class TestFoldSamples:
+    def test_sorted_and_paired(self):
+        t = np.array([150.0, 0.0, 98.0])
+        v = np.array([3.0, 1.0, 2.0])
+        ft, fv = fold_samples(t, v, 98.0)
+        assert np.all(np.diff(ft) >= 0)
+        # values follow their timestamps
+        assert fv[np.isclose(ft, 52.0)][0] == 3.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            fold_samples(np.array([1.0]), np.array([1.0, 2.0]), 98.0)
+
+
+class TestCycleProfile:
+    def test_means_per_bin(self):
+        t = np.array([5.0, 5.4, 103.2])  # bins 5, 5, 5 (folded)
+        v = np.array([2.0, 4.0, 6.0])
+        prof = cycle_profile(t, v, 98.0)
+        assert prof.shape == (98,)
+        assert prof[5] == pytest.approx(4.0)
+
+    def test_circular_interpolation_of_gaps(self):
+        # samples only at folded seconds 10 and 90 of a 100 s cycle:
+        # second 0 must interpolate across the wrap, not extrapolate
+        t = np.array([10.0, 90.0])
+        v = np.array([0.0, 10.0])
+        prof = cycle_profile(t, v, 100.0)
+        assert np.isfinite(prof).all()
+        # wrap path 90 -> 110(=10): second 0 is halfway
+        assert prof[0] == pytest.approx(5.0, abs=0.5)
+
+    def test_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            cycle_profile(np.array([]), np.array([]), 98.0)
+
+    def test_recovers_square_wave(self, rng):
+        cycle, red = 98.0, 39.0
+        t = np.sort(rng.uniform(0, 3600, 400))
+        v = np.where((t % cycle) < red, 1.0, 9.0)
+        prof = cycle_profile(t, v, cycle)
+        assert prof[:38].mean() < 3.0
+        assert prof[45:95].mean() > 7.0
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=15)
+    def test_property_profile_within_value_range(self, seed):
+        rng = np.random.default_rng(seed)
+        t = np.sort(rng.uniform(0, 2000, 50))
+        v = rng.uniform(-5, 25, 50)
+        prof = cycle_profile(t, v, 97.0)
+        assert prof.min() >= v.min() - 1e-9
+        assert prof.max() <= v.max() + 1e-9

@@ -1,0 +1,146 @@
+"""Unit tests for repro.trace.generator and trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.network.geometry import LocalFrame
+from repro.network.roadnet import grid_network
+from repro.sim.vehicle import VehicleTrack
+from repro.trace.fleet import ReportingPolicy
+from repro.trace.generator import OVERSPEED_KMH, TraceGenerator
+from repro.trace.gps import GPSErrorModel
+from repro.trace.stats import (
+    compute_statistics,
+    consecutive_pairs,
+    records_per_slot,
+)
+
+
+@pytest.fixture(scope="module")
+def net():
+    return grid_network(2, 2, 500.0)
+
+
+def make_track(net, segment_id=0, n=120, speed=8.0, t0=0.0):
+    seg = net.segments[segment_id]
+    dist = np.maximum(seg.length - speed * np.arange(n), 0.0)
+    v = np.full(n, speed)
+    v[dist == 0.0] = 0.0
+    return VehicleTrack(
+        vehicle_id=1,
+        segment_id=segment_id,
+        t=t0 + np.arange(n, dtype=float),
+        dist_to_stopline_m=dist,
+        speed_mps=v,
+        passenger=np.zeros(n, dtype=bool),
+    )
+
+
+class TestSampleTrack:
+    def test_positions_near_segment(self, net, rng):
+        gen = TraceGenerator(net, gps=GPSErrorModel(sigma_m=2.0, outlier_prob=0.0,
+                                                    unavailable_prob=0.0))
+        track = make_track(net)
+        out = gen.sample_track(track, taxi_id=42, rng=rng)
+        assert out is not None and len(out) >= 1
+        x, y = net.frame.to_local(out.lon, out.lat)
+        seg = net.segments[0]
+        from repro.network.geometry import point_segment_distance
+        d = point_segment_distance(x, y, seg.ax, seg.ay, seg.bx, seg.by)
+        assert np.all(d < 15.0)
+
+    def test_speed_units_kmh(self, net, rng):
+        gen = TraceGenerator(net)
+        out = gen.sample_track(make_track(net, speed=10.0), 42, rng)
+        moving = out.speed_kmh[out.speed_kmh > 0]
+        assert np.all(np.abs(moving - 36.0) < 1.0)  # 10 m/s = 36 km/h
+
+    def test_overspeed_flag(self, net, rng):
+        gen = TraceGenerator(net)
+        out = gen.sample_track(make_track(net, speed=25.0), 42, rng)  # 90 km/h
+        assert out.overspeed.any()
+        assert (out.speed_kmh[out.overspeed] > OVERSPEED_KMH).all()
+
+    def test_heading_near_segment_heading(self, net, rng):
+        gen = TraceGenerator(net, heading_noise_sd_deg=1.0)
+        track = make_track(net, segment_id=0)
+        seg = net.segments[0]
+        out = gen.sample_track(track, 42, rng)
+        from repro.network.geometry import heading_difference
+        assert np.all(heading_difference(out.heading_deg, seg.heading) < 10.0)
+
+    def test_short_track_may_yield_none(self, net, rng):
+        gen = TraceGenerator(net, policy=ReportingPolicy(
+            interval_mixture=((60.0, 1.0),), packet_loss_prob=0.0))
+        tiny = make_track(net, n=3)
+        # 3 s track with a 60 s interval: usually no report
+        results = [gen.sample_track(tiny, 1, np.random.default_rng(i)) for i in range(30)]
+        assert any(r is None for r in results)
+
+
+class TestGenerate:
+    def test_taxi_ids_distinct_per_track(self, net, rng):
+        from repro.sim.engine import SimulationResult
+        tracks = {0: [make_track(net), make_track(net)], 2: [make_track(net, 2)]}
+        res = SimulationResult(tracks_by_segment=tracks, t0=0.0, t1=200.0)
+        gen = TraceGenerator(net)
+        out = gen.generate(res, rng)
+        assert len(np.unique(out.taxi_id)) == 3
+
+    def test_sorted_by_time(self, net, rng):
+        from repro.sim.engine import SimulationResult
+        tracks = {0: [make_track(net, t0=100.0), make_track(net, t0=0.0)]}
+        res = SimulationResult(tracks_by_segment=tracks, t0=0.0, t1=300.0)
+        out = TraceGenerator(net).generate(res, rng)
+        assert np.all(np.diff(out.t) >= 0)
+
+    def test_deterministic(self, net):
+        from repro.sim.engine import SimulationResult
+        res = SimulationResult({0: [make_track(net)]}, 0.0, 200.0)
+        gen = TraceGenerator(net)
+        a = gen.generate(res, np.random.default_rng(5))
+        b = gen.generate(res, np.random.default_rng(5))
+        np.testing.assert_array_equal(a.t, b.t)
+        np.testing.assert_array_equal(a.lon, b.lon)
+
+
+class TestStats:
+    def test_consecutive_pairs_only_same_taxi(self):
+        from repro.trace.records import TraceArrays
+        tr = TraceArrays(
+            taxi_id=[1, 1, 2, 2, 2],
+            t=[0.0, 30.0, 10.0, 25.0, 55.0],
+            lon=np.full(5, 114.05),
+            lat=np.full(5, 22.54),
+            speed_kmh=[0, 10, 20, 30, 40.0],
+        )
+        pairs = consecutive_pairs(tr)
+        assert len(pairs) == 3
+        np.testing.assert_allclose(np.sort(pairs.dt_s), [15.0, 30.0, 30.0])
+
+    def test_records_per_slot(self):
+        from repro.trace.records import TraceArrays
+        tr = TraceArrays(
+            taxi_id=[1, 1, 1],
+            t=[0.0, 601.0, 86_400.0 + 30.0],  # slots 0, 1, 0 (next day)
+            lon=np.full(3, 114.05),
+            lat=np.full(3, 22.54),
+            speed_kmh=np.zeros(3),
+        )
+        starts, counts = records_per_slot(tr, slot_s=600.0)
+        assert counts[0] == 2 and counts[1] == 1
+        assert counts.sum() == 3
+        assert starts.shape == counts.shape == (144,)
+
+    def test_records_per_slot_validation(self):
+        from repro.trace.records import TraceArrays
+        with pytest.raises(ValueError):
+            records_per_slot(TraceArrays.empty(), slot_s=7.0)
+
+    def test_compute_statistics_smoke(self, trace):
+        st = compute_statistics(trace, LocalFrame())
+        assert st.n_records == len(trace)
+        assert st.n_taxis > 0
+        assert 5.0 <= st.mean_update_interval_s <= 40.0
+        assert 0.0 <= st.stationary_fraction <= 1.0
+        assert st.row()  # printable

@@ -1,0 +1,130 @@
+"""Unit + property tests for the Table I wire format (repro.trace.io)."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.io import (
+    BASE_DATE,
+    format_record,
+    parse_record,
+    read_trace,
+    seconds_to_timestamp,
+    timestamp_to_seconds,
+    write_trace,
+)
+from repro.trace.records import TaxiRecord, TraceArrays
+
+
+def make_record(**kw):
+    base = dict(
+        plate="粤B12345",
+        longitude=114.123456,
+        latitude=22.547891,
+        time_s=3723.0,
+        device_id=700123,
+        speed_kmh=42.5,
+        heading_deg=187.3,
+        gps_ok=True,
+        overspeed=False,
+        sim_card="139000012345",
+        passenger=True,
+        color="red",
+    )
+    base.update(kw)
+    return TaxiRecord(**base)
+
+
+class TestTimestamps:
+    def test_render(self):
+        assert seconds_to_timestamp(0.0) == "2014-12-05 00:00:00"
+        assert seconds_to_timestamp(3723.0) == "2014-12-05 01:02:03"
+
+    def test_roundtrip(self):
+        assert timestamp_to_seconds(seconds_to_timestamp(86_400.0 + 59.0)) == 86_459.0
+
+    @given(t=st.integers(0, 10 * 86_400))
+    def test_property_roundtrip(self, t):
+        assert timestamp_to_seconds(seconds_to_timestamp(float(t))) == float(t)
+
+
+class TestLineFormat:
+    def test_field_count_and_order(self):
+        line = format_record(make_record())
+        parts = line.split(",")
+        assert len(parts) == 12
+        assert parts[0] == "粤B12345"
+        assert parts[1] == "114123456"       # lon ×1e6
+        assert parts[2] == "22547891"        # lat ×1e6
+        assert parts[3] == "2014-12-05 01:02:03"
+        assert parts[7] == "1" and parts[8] == "0" and parts[10] == "1"
+
+    def test_parse_inverse(self):
+        rec = make_record()
+        back = parse_record(format_record(rec))
+        assert back.plate == rec.plate
+        assert back.longitude == pytest.approx(rec.longitude, abs=1e-6)
+        assert back.latitude == pytest.approx(rec.latitude, abs=1e-6)
+        assert back.time_s == rec.time_s
+        assert back.passenger == rec.passenger
+        assert back.gps_ok == rec.gps_ok
+
+    def test_parse_rejects_wrong_field_count(self):
+        with pytest.raises(ValueError):
+            parse_record("a,b,c")
+
+    @given(
+        lon=st.floats(113.0, 115.0),
+        lat=st.floats(22.0, 23.0),
+        t=st.integers(0, 86_400),
+        speed=st.floats(0, 120),
+        passenger=st.booleans(),
+        gps=st.booleans(),
+    )
+    @settings(max_examples=50)
+    def test_property_roundtrip(self, lon, lat, t, speed, passenger, gps):
+        rec = make_record(
+            longitude=lon, latitude=lat, time_s=float(t),
+            speed_kmh=speed, passenger=passenger, gps_ok=gps,
+        )
+        back = parse_record(format_record(rec))
+        assert back.longitude == pytest.approx(lon, abs=1e-6)
+        assert back.latitude == pytest.approx(lat, abs=1e-6)
+        assert back.time_s == float(t)
+        assert back.passenger == passenger and back.gps_ok == gps
+
+
+class TestFileRoundtrip:
+    def test_write_read(self):
+        tr = TraceArrays(
+            taxi_id=[11, 12, 13],
+            t=[10.0, 20.0, 30.0],
+            lon=[114.05, 114.06, 114.07],
+            lat=[22.54, 22.55, 22.56],
+            speed_kmh=[0.0, 33.3, 60.0],
+            passenger=[True, False, True],
+        )
+        buf = io.StringIO()
+        n = write_trace(tr, buf)
+        assert n == 3
+        buf.seek(0)
+        back = read_trace(buf)
+        assert len(back) == 3
+        np.testing.assert_array_equal(back.taxi_id, tr.taxi_id)
+        np.testing.assert_allclose(back.lon, tr.lon, atol=1e-6)
+        np.testing.assert_array_equal(back.passenger, tr.passenger)
+
+    def test_read_skips_blank_lines(self):
+        buf = io.StringIO(format_record(make_record()) + "\n\n\n")
+        assert len(read_trace(buf)) == 1
+
+    def test_read_reports_line_number(self):
+        buf = io.StringIO(format_record(make_record()) + "\ngarbage line\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(buf)
+
+    def test_write_accepts_record_iterable(self):
+        buf = io.StringIO()
+        assert write_trace([make_record(), make_record()], buf) == 2

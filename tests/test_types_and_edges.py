@@ -1,0 +1,111 @@
+"""Edge cases for result types, stats, and small API surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.core.monitor import HistoricalProfile, MonitorSeries
+from repro.core.signal_types import (
+    ChangePointEstimate,
+    CycleEstimate,
+    RedEstimate,
+    ScheduleEstimate,
+)
+from repro.lights.schedule import LightSchedule
+from repro.network.geometry import LocalFrame
+from repro.trace.records import TraceArrays
+from repro.trace.stats import compute_statistics, consecutive_pairs
+
+
+def make_estimate():
+    sched = LightSchedule(100.0, 40.0, 12.0)
+    return ScheduleEstimate(
+        intersection_id=3,
+        approach="EW",
+        at_time=5000.0,
+        schedule=sched,
+        cycle=CycleEstimate(100.0, 18, 50.0, 9.5, 321, enhanced=True),
+        red=RedEstimate(40.0, 2, np.arange(6) * 20.0, np.ones(5), 77, 4),
+        change=ChangePointEstimate(12.0, 52.0, np.zeros(100), np.zeros(100)),
+    )
+
+
+class TestScheduleEstimate:
+    def test_derived_properties(self):
+        est = make_estimate()
+        assert est.cycle_s == 100.0
+        assert est.red_s == 40.0
+        assert est.green_s == pytest.approx(60.0)
+
+    def test_row_contains_key_fields(self):
+        row = make_estimate().row()
+        assert "(3,EW)" in row and "cycle=100.0s" in row and "quality=9.5" in row
+
+    def test_estimate_bookkeeping(self):
+        est = make_estimate()
+        assert est.cycle.enhanced is True
+        assert est.cycle.n_samples == 321
+        assert est.red.n_stops_used == 77
+        assert est.red.n_stops_rejected == 4
+
+
+class TestMonitorSeriesEdges:
+    def test_empty_series(self):
+        s = MonitorSeries(t=np.empty(0), cycle_s=np.empty(0), quality=np.empty(0))
+        assert len(s) == 0
+        assert np.isnan(s.valid_fraction())
+
+    def test_historical_profile_support_counts(self):
+        s = MonitorSeries(
+            t=np.array([0.0, 1800.0, 3600.0]),
+            cycle_s=np.array([98.0, np.nan, 100.0]),
+            quality=np.ones(3),
+        )
+        h = HistoricalProfile([s], bin_s=1800.0)
+        assert h.support[0] == 1
+        assert h.support[1] == 0  # the NaN slot contributes nothing
+        assert h.support[2] == 1
+
+
+class TestStatsEdges:
+    def test_empty_trace_statistics(self):
+        st = compute_statistics(TraceArrays.empty(), LocalFrame())
+        assert st.n_records == 0 and st.n_taxis == 0
+        assert np.isnan(st.mean_update_interval_s)
+        assert st.row()  # printable even when empty
+
+    def test_single_record_no_pairs(self):
+        tr = TraceArrays([1], [0.0], [114.05], [22.54], [30.0])
+        pairs = consecutive_pairs(tr)
+        assert len(pairs) == 0
+        st = compute_statistics(tr, LocalFrame())
+        assert st.n_records == 1
+
+    def test_pairs_never_cross_taxis(self, rng):
+        n = 100
+        tr = TraceArrays(
+            taxi_id=rng.integers(0, 5, n),
+            t=np.sort(rng.uniform(0, 1000, n)),
+            lon=np.full(n, 114.05),
+            lat=np.full(n, 22.54),
+            speed_kmh=rng.uniform(0, 60, n),
+        )
+        pairs = consecutive_pairs(tr)
+        # every pair's dt must be non-negative (within-taxi ordering)
+        assert np.all(pairs.dt_s >= 0)
+
+
+class TestLightScheduleScalarVectorConsistency:
+    @pytest.mark.parametrize("t", [0.0, 39.0, 39.5, 97.9, 98.0, 12345.6])
+    def test_scalar_matches_vector(self, t):
+        s = LightSchedule(98.0, 39.0, 11.0)
+        scalar = bool(s.is_red(t))
+        vector = bool(s.is_red(np.array([t]))[0])
+        assert scalar == vector
+        assert float(s.time_in_cycle(t)) == pytest.approx(
+            float(s.time_in_cycle(np.array([t]))[0])
+        )
+
+    def test_is_green_scalar_semantics(self):
+        s = LightSchedule(98.0, 39.0, 0.0)
+        assert s.is_green(50.0) is True or s.is_green(50.0) == True  # noqa: E712
+        assert bool(s.is_green(10.0)) is False

@@ -1,0 +1,84 @@
+"""Unit tests for repro.sim.vehicle."""
+
+import numpy as np
+import pytest
+
+from repro.sim.vehicle import DwellPlan, VehicleParams, VehicleTrack
+
+
+class TestVehicleParams:
+    def test_desired_speed_floor(self, rng):
+        p = VehicleParams(free_speed_mps=5.0, free_speed_sd=10.0, min_speed_mps=4.0)
+        speeds = [p.sample_desired_speed(rng) for _ in range(200)]
+        assert min(speeds) >= 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VehicleParams(free_speed_mps=-1)
+        with pytest.raises(ValueError):
+            VehicleParams(jam_gap_m=0.0)
+
+
+class TestDwellPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DwellPlan(at_distance_m=-1.0, duration_s=10.0)
+        with pytest.raises(ValueError):
+            DwellPlan(at_distance_m=10.0, duration_s=0.0)
+
+
+def make_track(speeds, t0=100.0):
+    speeds = np.asarray(speeds, dtype=float)
+    n = speeds.size
+    dist = 400.0 - np.concatenate([[0.0], np.cumsum(speeds[:-1])])
+    return VehicleTrack(
+        vehicle_id=1,
+        segment_id=0,
+        t=t0 + np.arange(n, dtype=float),
+        dist_to_stopline_m=np.maximum(dist, 0.0),
+        speed_mps=speeds,
+        passenger=np.zeros(n, dtype=bool),
+    )
+
+
+class TestVehicleTrack:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            VehicleTrack(
+                vehicle_id=0, segment_id=0,
+                t=np.arange(3.0),
+                dist_to_stopline_m=np.zeros(2),
+                speed_mps=np.zeros(3),
+                passenger=np.zeros(3, dtype=bool),
+            )
+
+    def test_entered_exited(self):
+        tr = make_track([5.0] * 10, t0=50.0)
+        assert tr.entered_at == 50.0 and tr.exited_at == 59.0
+        assert len(tr) == 10
+
+    def test_no_stop_intervals_when_moving(self):
+        tr = make_track([8.0] * 20)
+        assert tr.stop_intervals() == []
+
+    def test_single_stop_interval(self):
+        tr = make_track([8.0] * 5 + [0.0] * 10 + [8.0] * 5)
+        iv = tr.stop_intervals()
+        assert len(iv) == 1
+        s, e = iv[0]
+        assert e - s == pytest.approx(9.0)  # 10 still seconds span 9 s
+
+    def test_two_stop_intervals(self):
+        tr = make_track([0.0] * 5 + [8.0] * 3 + [0.0] * 4)
+        iv = tr.stop_intervals()
+        assert len(iv) == 2
+
+    def test_stop_at_track_edges(self):
+        tr = make_track([0.0] * 3 + [8.0] * 3 + [0.0] * 3)
+        iv = tr.stop_intervals()
+        assert iv[0][0] == tr.t[0]
+        assert iv[-1][1] == tr.t[-1]
+
+    def test_stopped_mask_eps(self):
+        tr = make_track([0.1, 0.2, 5.0])
+        assert tr.stopped_mask(speed_eps=0.15).tolist() == [True, False, False]

@@ -23,7 +23,7 @@ Quick start::
         print(est.row())
 """
 
-from . import core, eval, lights, matching, navigation, network, parallel, scenario, sim, trace
+from . import core, eval, lights, matching, navigation, network, obs, parallel, scenario, sim, trace
 
 __version__ = "1.0.0"
 
@@ -34,6 +34,7 @@ __all__ = [
     "matching",
     "navigation",
     "network",
+    "obs",
     "parallel",
     "scenario",
     "sim",

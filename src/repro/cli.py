@@ -60,6 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="analysis window length, seconds")
     ident.add_argument("--serial", action="store_true",
                        help="disable the process pool")
+    ident.add_argument("--report", metavar="PATH", default=None,
+                       help="write the RunReport JSON (stage wall times, "
+                            "counters, failure taxonomy) to PATH")
 
     ev = sub.add_parser("evaluate", help="error statistics vs stored ground truth")
     ev.add_argument("--city", required=True,
@@ -67,6 +70,9 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--times", type=float, nargs="+", required=True,
                     help="identification time spots (simulation seconds)")
     ev.add_argument("--serial", action="store_true")
+    ev.add_argument("--report", metavar="PATH", default=None,
+                    help="write the RunReport JSON aggregated over all "
+                         "time spots to PATH")
 
     mon = sub.add_parser("monitor", help="continuous cycle monitoring of one light")
     mon.add_argument("--city", required=True)
@@ -134,6 +140,7 @@ def _cmd_identify(args) -> int:
     from .lights.intersection import attach_signals_to_network
     from .matching import match_trace, partition_by_light
     from .network.serialization import load_network
+    from .obs import RunReport
     from .trace import read_trace
 
     with open(f"{args.city}.net.json", encoding="utf-8") as fp:
@@ -145,8 +152,9 @@ def _cmd_identify(args) -> int:
 
     partitions = partition_by_light(match_trace(trace, net), net)
     config = PipelineConfig(window_s=args.window)
+    report = RunReport() if args.report else None
     estimates, failures = identify_many(
-        partitions, args.at, config=config, serial=args.serial
+        partitions, args.at, config=config, serial=args.serial, report=report
     )
 
     signals = attach_signals_to_network(net, plans) if plans else None
@@ -166,8 +174,12 @@ def _cmd_identify(args) -> int:
             ))
             line += f"   dCycle {dc:+.1f}s dChange {dch:+.1f}s"
         print(line)
-    for key, reason in sorted(failures.items()):
-        print(f"{str(key):<12} no estimate: {reason.split(';')[0]}")
+    for key, failure in sorted(failures.items()):
+        print(f"{str(key):<12} no estimate: {failure}")
+    if report is not None:
+        report.save(args.report)
+        print(f"\nwrote run report to {args.report}")
+        print(report.summary())
     return 0
 
 
@@ -176,6 +188,7 @@ def _cmd_evaluate(args) -> int:
     from .lights.intersection import attach_signals_to_network
     from .matching import match_trace, partition_by_light
     from .network.serialization import load_network
+    from .obs import RunReport
     from .trace import read_trace
 
     with open(f"{args.city}.net.json", encoding="utf-8") as fp:
@@ -192,8 +205,9 @@ def _cmd_evaluate(args) -> int:
     def truth_fn(iid, app, t):
         return signals[iid].schedule_at(app, t)
 
+    report = RunReport() if args.report else None
     result = evaluate_at_times(
-        partitions, truth_fn, args.times, serial=args.serial
+        partitions, truth_fn, args.times, serial=args.serial, report=report
     )
     print(f"samples: {len(result)}  (data-starved: {result.n_failures})")
     print(summarize_errors(result.cycle_errors, "cycle length "))
@@ -204,6 +218,10 @@ def _cmd_evaluate(args) -> int:
     print(f"cycle-locked subset: {len(locked)} samples")
     print(summarize_errors([s.errors.red_s for s in locked], "red | locked "))
     print(summarize_errors([s.errors.change_s for s in locked], "chg | locked "))
+    if report is not None:
+        report.save(args.report)
+        print(f"\nwrote run report to {args.report}")
+        print(report.summary())
     return 0
 
 

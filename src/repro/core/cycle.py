@@ -198,11 +198,17 @@ def _scan_fold(
     ends: Optional[np.ndarray] = None,
     end_weight: float = 0.0,
 ) -> Tuple[float, float]:
-    """Best (cycle, combined z-score) on a grid around ``center_s``."""
+    """Best (cycle, combined z-score) on a grid around ``center_s``.
+
+    The grid is clipped to ``[lo, hi]``: the float ``arange`` endpoint
+    (``hi + step/2``) can otherwise emit a candidate up to half a step
+    *outside* the configured cycle band, letting refined or subharmonic
+    periods escape ``[min_cycle_s, max_cycle_s]``.
+    """
     lo = max(center_s - half_width_s, lo_s)
     hi = min(center_s + half_width_s, hi_s)
     best_c, best_z = float(center_s), -np.inf
-    for c in np.arange(lo, hi + step_s / 2, step_s):
+    for c in np.clip(np.arange(lo, hi + step_s / 2, step_s), lo, hi):
         z = fold_zscore(t, v, c, bin_s)
         if ends is not None and end_weight > 0 and np.isfinite(z):
             ze = stop_end_comb_zscore(ends, c, bin_s)
@@ -257,6 +263,7 @@ def identify_cycle_from_samples(
     *,
     enhanced: bool = False,
     stop_ends: Optional[np.ndarray] = None,
+    telemetry=None,
 ) -> CycleEstimate:
     """End-to-end §V: regularize over ``[t0, t1)``, DFT, select, refine.
 
@@ -266,6 +273,10 @@ def identify_cycle_from_samples(
     significantly periodic one wins; with ``config.refine`` the winner
     is polished by a fine folding scan and checked against its
     sub-multiples.
+
+    ``telemetry`` is an optional
+    :class:`repro.obs.telemetry.StageTelemetry` (duck-typed: anything
+    with ``count(name, n)``) that receives the candidate/scan counters.
 
     Raises :class:`InsufficientDataError` when the window is too sparse
     (sparse windows are where §V.B's enhancement earns its keep).
@@ -290,6 +301,8 @@ def identify_cycle_from_samples(
     if stop_ends is not None and config.stop_end_weight > 0:
         ends = np.asarray(stop_ends, dtype=float)
     ew = config.stop_end_weight
+    if telemetry is not None:
+        telemetry.count("cycle_candidates_scanned", k)
 
     if k == 1 or t.size < 8:
         chosen = int(candidates[0])
@@ -306,6 +319,8 @@ def identify_cycle_from_samples(
                 chosen, cycle_s, z = int(b), c, zc
 
     if config.refine and t.size >= 8:
+        if telemetry is not None:
+            telemetry.count("cycle_refine_scans", 1)
         cycle_s, z = _scan_fold(
             t, v, cycle_s, 1.5, 0.05, config.refine_bin_s,
             config.min_cycle_s, config.max_cycle_s, ends, ew,
@@ -318,6 +333,8 @@ def identify_cycle_from_samples(
             cand = cycle_s / div
             if cand < config.min_cycle_s:
                 continue
+            if telemetry is not None:
+                telemetry.count("cycle_subharmonic_scans", 1)
             c_sub, z_sub = _scan_fold(
                 t, v, cand, 2.5, 0.05, config.refine_bin_s,
                 config.min_cycle_s, config.max_cycle_s, ends, ew,

@@ -38,12 +38,16 @@ class MonitorSeries:
     """Periodic cycle-length estimates for one light.
 
     ``cycle_s`` is NaN where the window was too sparse; ``quality`` is
-    the DFT peak prominence of each window.
+    the DFT peak prominence of each window.  ``n_errors`` counts
+    windows that crashed with something *other* than data poverty
+    (degenerate inputs, numerical pathologies) — those windows are NaN
+    too, but a nonzero count flags a light worth investigating.
     """
 
     t: np.ndarray
     cycle_s: np.ndarray
     quality: np.ndarray
+    n_errors: int = 0
 
     def __len__(self) -> int:
         return int(self.t.shape[0])
@@ -82,6 +86,7 @@ def monitor_cycle(
     times = np.arange(t0 + window_s, t1 + 1e-9, every_s)
     cycles = np.full(times.shape, np.nan)
     quality = np.full(times.shape, np.nan)
+    n_errors = 0
     for i, tau in enumerate(times):
         sub = partition.time_window(tau - window_s, tau)
         try:
@@ -90,9 +95,14 @@ def monitor_cycle(
             )
         except InsufficientDataError:
             continue
+        except Exception:
+            # A degenerate window must not sink hours of monitoring;
+            # record it and keep scanning.
+            n_errors += 1
+            continue
         cycles[i] = est.cycle_s
         quality[i] = est.quality
-    return MonitorSeries(t=times, cycle_s=cycles, quality=quality)
+    return MonitorSeries(t=times, cycle_s=cycles, quality=quality, n_errors=n_errors)
 
 
 def repair_outliers(
@@ -117,7 +127,10 @@ def repair_outliers(
         med = float(np.median(neigh))
         if abs(c[i] - med) > tol_s:
             repaired[i] = med
-    return MonitorSeries(t=series.t, cycle_s=repaired, quality=series.quality)
+    return MonitorSeries(
+        t=series.t, cycle_s=repaired, quality=series.quality,
+        n_errors=series.n_errors,
+    )
 
 
 def detect_plan_changes(

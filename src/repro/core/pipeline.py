@@ -14,6 +14,7 @@ the parallelism the paper gets for free from per-light partitioning.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -23,7 +24,8 @@ from .._util import check_positive
 from ..lights.schedule import LightSchedule
 from ..matching.partition import LightKey, LightPartition
 from ..network.roadnet import Approach
-from ..parallel.pool import pmap
+from ..obs import LightFailure, RunReport, StageTelemetry
+from ..parallel.pool import WorkerError, pmap
 from .changepoint import find_signal_change
 from .cycle import CycleConfig, identify_cycle_from_samples
 from .enhancement import choose_primary, enhance_samples
@@ -33,6 +35,12 @@ from .stops import extract_stops
 from .superposition import cycle_profile
 
 __all__ = ["PipelineConfig", "identify_light", "identify_many", "measured_mean_interval"]
+
+#: Floor for the red-duration estimate: one ``cycle_profile`` bin
+#: (``bin_s=1.0``).  The border-interval estimator can return ~0 on
+#: degenerate histograms, and ``find_signal_change`` requires a strictly
+#: positive sliding-window length.
+_MIN_RED_S = 1.0
 
 
 @dataclass(frozen=True)
@@ -131,6 +139,7 @@ def identify_light(
     *,
     perpendicular: Optional[LightPartition] = None,
     config: PipelineConfig = PipelineConfig(),
+    telemetry: Optional[StageTelemetry] = None,
 ) -> ScheduleEstimate:
     """Identify one light's schedule as of ``at_time``.
 
@@ -141,6 +150,11 @@ def identify_light(
     perpendicular:
         The crossing approach group at the same intersection, used for
         §V.B enhancement on sparse windows.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.StageTelemetry` that
+        accumulates per-stage wall time and pipeline counters; its
+        ``last_stage`` names the stage that raised when this call
+        fails, which is how ``identify_many`` attributes failures.
 
     Raises
     ------
@@ -148,75 +162,104 @@ def identify_light(
         When even the enhanced window can't support the DFT, or too few
         stop events survive filtering.
     """
+    tel = telemetry if telemetry is not None else StageTelemetry()
     anchor = at_time - config.window_s
-    t_own, v_own = _window_samples(partition, anchor, at_time, config.max_sample_dist_m)
-    t, v = t_own, v_own
 
-    enhanced = False
-    if (
-        config.use_enhancement
-        and perpendicular is not None
-        and t.shape[0] < config.enhancement_threshold
-    ):
-        tp, vp = _window_samples(
-            perpendicular, anchor, at_time, config.max_sample_dist_m
+    with tel.stage("samples"):
+        t_own, v_own = _window_samples(
+            partition, anchor, at_time, config.max_sample_dist_m
         )
-        if tp.size:
-            t1_, v1_, t2_, v2_ = choose_primary(t, v, tp, vp)
-            t, v = enhance_samples(t1_, v1_, t2_, v2_)
-            enhanced = True
+        t, v = t_own, v_own
+        tel.count("samples_primary", int(t_own.shape[0]))
 
-    stops = extract_stops(partition).time_window(
-        at_time - config.stop_window_s, at_time
-    )
-    stops = stops.subset(~stops.passenger_changed) if len(stops) else stops
-    # Each stop's last stationary report precedes the true green onset
-    # by ~half that taxi's report gap on average; corrected end times
-    # anchor both the cycle search (comb score) and the change point.
-    gaps = stops.duration_s / np.maximum(stops.n_records - 1, 1)
-    stop_ends = stops.t_end + gaps / 2.0
+        enhanced = False
+        if (
+            config.use_enhancement
+            and perpendicular is not None
+            and t.shape[0] < config.enhancement_threshold
+        ):
+            tp, vp = _window_samples(
+                perpendicular, anchor, at_time, config.max_sample_dist_m
+            )
+            if tp.size:
+                t1_, v1_, t2_, v2_ = choose_primary(t, v, tp, vp)
+                t, v = enhance_samples(t1_, v1_, t2_, v2_)
+                enhanced = True
+                tel.count("lights_enhanced", 1)
+                tel.count("samples_mirrored", int(tp.shape[0]))
 
-    cyc = identify_cycle_from_samples(
-        t, v, anchor, at_time, config.cycle, enhanced=enhanced,
-        stop_ends=stop_ends if len(stops) else None,
-    )
-    cycle_s = cyc.cycle_s
-
-    interval_s = (
-        measured_mean_interval(partition) if config.measure_interval else None
-    )
-    red = estimate_red_duration(
-        stops.duration_s, cycle_s, config.red, mean_interval_s=interval_s
-    )
-    red_s = min(red.red_s, 0.9 * cycle_s)  # keep the schedule well-formed
-
-    # Superpose the *target direction's* own samples (not the mirrored
-    # ones: the perpendicular direction has the opposite phase) over
-    # the tighter phase window.
-    phase_anchor = at_time - config.phase_window_s
-    t_ph, v_ph = _window_samples(
-        partition, phase_anchor, at_time, config.max_sample_dist_m
-    )
-    if t_ph.shape[0] < 4:
-        raise InsufficientDataError(
-            f"only {t_ph.shape[0]} samples for superposition in window "
-            f"[{phase_anchor}, {at_time})"
+    with tel.stage("stops"):
+        stops_all = extract_stops(partition).time_window(
+            at_time - config.stop_window_s, at_time
         )
-    profile = cycle_profile(t_ph, v_ph, cycle_s, phase_anchor)
-    ends_in_cycle = np.mod(stop_ends - phase_anchor, cycle_s)
-    change = find_signal_change(
-        profile,
-        red_s,
-        stop_ends_in_cycle=ends_in_cycle if len(stops) else None,
-        fusion_weight=config.fusion_weight,
-    )
+        tel.count("stops_extracted", len(stops_all))
+        stops = (
+            stops_all.subset(~stops_all.passenger_changed)
+            if len(stops_all)
+            else stops_all
+        )
+        tel.count("stops_kept", len(stops))
+        # Each stop's last stationary report precedes the true green onset
+        # by ~half that taxi's report gap on average; corrected end times
+        # anchor both the cycle search (comb score) and the change point.
+        gaps = stops.duration_s / np.maximum(stops.n_records - 1, 1)
+        stop_ends = stops.t_end + gaps / 2.0
 
-    red_to_green_abs = phase_anchor + change.red_to_green_s
-    if config.refine_red:
-        refined = refine_red_from_change(stops, cycle_s, red_to_green_abs)
-        if refined is not None:
-            red_s = min(refined, 0.9 * cycle_s)
-            red = replace(red, red_s=red_s)
+    with tel.stage("cycle"):
+        cyc = identify_cycle_from_samples(
+            t, v, anchor, at_time, config.cycle, enhanced=enhanced,
+            stop_ends=stop_ends if len(stops) else None,
+            telemetry=tel,
+        )
+        cycle_s = cyc.cycle_s
+
+    with tel.stage("red"):
+        interval_s = (
+            measured_mean_interval(partition) if config.measure_interval else None
+        )
+        red = estimate_red_duration(
+            stops.duration_s, cycle_s, config.red, mean_interval_s=interval_s
+        )
+        tel.count("red_stops_used", red.n_stops_used)
+        tel.count("red_stops_rejected", red.n_stops_rejected)
+        # Clamp to [one profile bin, 0.9·cycle]: keeps the schedule
+        # well-formed and keeps find_signal_change's check_positive
+        # satisfied when the border-interval estimate degenerates to ~0.
+        red_s = float(np.clip(red.red_s, _MIN_RED_S, 0.9 * cycle_s))
+
+    with tel.stage("superposition"):
+        # Superpose the *target direction's* own samples (not the mirrored
+        # ones: the perpendicular direction has the opposite phase) over
+        # the tighter phase window.
+        phase_anchor = at_time - config.phase_window_s
+        t_ph, v_ph = _window_samples(
+            partition, phase_anchor, at_time, config.max_sample_dist_m
+        )
+        if t_ph.shape[0] < 4:
+            raise InsufficientDataError(
+                f"only {t_ph.shape[0]} samples for superposition in window "
+                f"[{phase_anchor}, {at_time})"
+            )
+        tel.count("samples_phase", int(t_ph.shape[0]))
+        profile = cycle_profile(t_ph, v_ph, cycle_s, phase_anchor)
+
+    with tel.stage("changepoint"):
+        ends_in_cycle = np.mod(stop_ends - phase_anchor, cycle_s)
+        change = find_signal_change(
+            profile,
+            red_s,
+            stop_ends_in_cycle=ends_in_cycle if len(stops) else None,
+            fusion_weight=config.fusion_weight,
+        )
+
+    with tel.stage("refine"):
+        red_to_green_abs = phase_anchor + change.red_to_green_s
+        if config.refine_red:
+            refined = refine_red_from_change(stops, cycle_s, red_to_green_abs)
+            if refined is not None:
+                red_s = float(np.clip(refined, _MIN_RED_S, 0.9 * cycle_s))
+                red = replace(red, red_s=red_s)
+                tel.count("red_refined", 1)
 
     schedule = LightSchedule(
         cycle_s=cycle_s,
@@ -235,16 +278,28 @@ def identify_light(
     )
 
 
-def _identify_one(args) -> Tuple[LightKey, Optional[ScheduleEstimate], Optional[str]]:
-    """Worker: identify one light, swallowing data-poverty errors."""
+def _identify_one(
+    args,
+) -> Tuple[LightKey, Optional[ScheduleEstimate], Optional[LightFailure], StageTelemetry]:
+    """Worker: identify one light, containing *every* per-light failure.
+
+    A citywide fan-out must never let one poisoned partition abort the
+    pool: any exception — not just the expected
+    :class:`InsufficientDataError` — becomes a typed
+    :class:`~repro.obs.report.LightFailure` carrying the exception
+    class, the pipeline stage that raised, and the message.  The
+    telemetry collected up to the crash comes back either way.
+    """
     partition, perpendicular, at_time, config = args
+    tel = StageTelemetry()
     try:
         est = identify_light(
-            partition, at_time, perpendicular=perpendicular, config=config
+            partition, at_time,
+            perpendicular=perpendicular, config=config, telemetry=tel,
         )
-        return partition.key, est, None
-    except InsufficientDataError as exc:
-        return partition.key, None, str(exc)
+        return partition.key, est, None, tel
+    except Exception as exc:
+        return partition.key, None, LightFailure.from_exception(exc, tel.last_stage), tel
 
 
 def identify_many(
@@ -254,24 +309,53 @@ def identify_many(
     config: PipelineConfig = PipelineConfig(),
     max_workers: Optional[int] = None,
     serial: bool = False,
-) -> Tuple[Dict[LightKey, ScheduleEstimate], Dict[LightKey, str]]:
+    report: Optional[RunReport] = None,
+) -> Tuple[Dict[LightKey, ScheduleEstimate], Dict[LightKey, LightFailure]]:
     """Identify every partitioned light at ``at_time`` in parallel.
 
-    Returns ``(estimates, failures)`` — lights whose windows were too
-    sparse land in *failures* with the reason string.
+    Returns ``(estimates, failures)``.  Every light that produced no
+    estimate — from an expectedly sparse window up to a genuinely
+    poisoned partition — lands in *failures* as a
+    :class:`~repro.obs.report.LightFailure` (exception class + pipeline
+    stage + message); one bad partition never aborts the others.
+
+    Pass a :class:`~repro.obs.report.RunReport` as ``report`` to
+    aggregate per-stage wall times, pipeline counters, and the failure
+    map; repeated calls (e.g. one per time spot) keep folding into the
+    same report.
     """
+    t_run0 = time.perf_counter()
     other = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
     jobs = []
     for key in sorted(partitions):
         iid, app = key
         perp = partitions.get((iid, other[app]))
         jobs.append((partitions[key], perp, at_time, config))
-    results = pmap(_identify_one, jobs, max_workers=max_workers, serial=serial)
+    keys = [job[0].key for job in jobs]
+    results = pmap(
+        _identify_one, jobs, max_workers=max_workers, serial=serial,
+        on_error="return",
+    )
     estimates: Dict[LightKey, ScheduleEstimate] = {}
-    failures: Dict[LightKey, str] = {}
-    for key, est, err in results:
+    failures: Dict[LightKey, LightFailure] = {}
+    for key, res in zip(keys, results):
+        if isinstance(res, WorkerError):
+            # Even the containment wrapper died (e.g. the result failed
+            # to pickle); attribute it to the worker boundary.
+            failure = LightFailure(
+                error_type=res.error_type, stage="worker", message=res.message
+            )
+            failures[key] = failure
+            if report is not None:
+                report.record_light(key, None, failure)
+            continue
+        _key, est, failure, tel = res
         if est is not None:
             estimates[key] = est
         else:
-            failures[key] = err or "unknown"
+            failures[key] = failure
+        if report is not None:
+            report.record_light(key, tel, failure)
+    if report is not None:
+        report.finish_run(time.perf_counter() - t_run0)
     return estimates, failures

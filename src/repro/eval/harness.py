@@ -20,6 +20,7 @@ from ..core.signal_types import ScheduleEstimate
 from ..lights.schedule import LightSchedule
 from ..matching.mapmatch import MatchConfig, match_trace
 from ..matching.partition import LightKey, LightPartition, partition_by_light
+from ..obs import LightFailure, RunReport
 from ..parallel.pool import pmap_seeded
 from ..sim.queueing import SignalizedApproachSim
 from ..trace.generator import TraceGenerator
@@ -40,7 +41,7 @@ class EvalSample:
     at_time: float
     estimate: Optional[ScheduleEstimate]
     errors: Optional[ScheduleErrors]
-    failure: Optional[str] = None
+    failure: Optional[LightFailure] = None
 
     @property
     def ok(self) -> bool:
@@ -165,18 +166,24 @@ def evaluate_at_times(
     config: PipelineConfig = PipelineConfig(),
     max_workers: Optional[int] = None,
     serial: bool = False,
+    report: Optional[RunReport] = None,
 ) -> EvalResult:
     """Identify every light at every time spot and score it.
 
     Per-light identification already fans out over processes inside
     :func:`repro.core.pipeline.identify_many`; time spots run serially
     so a single process pool is reused efficiently.
+
+    ``report`` (a :class:`~repro.obs.report.RunReport`) aggregates
+    stage wall times, counters, and the typed failure map across all
+    time spots of the sweep.
     """
     samples: List[EvalSample] = []
     for at_time in times:
         estimates, failures = identify_many(
             partitions, float(at_time),
             config=config, max_workers=max_workers, serial=serial,
+            report=report,
         )
         for key in sorted(partitions):
             iid, approach = key
@@ -198,7 +205,7 @@ def evaluate_at_times(
                         at_time=float(at_time),
                         estimate=None,
                         errors=None,
-                        failure=failures.get(key, "unknown"),
+                        failure=failures.get(key),
                     )
                 )
     return EvalResult(samples)

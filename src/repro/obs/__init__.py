@@ -1,0 +1,14 @@
+"""Pipeline observability: stage timers, counters, and run reports.
+
+The fault-containment counterpart of the paper's "easily paralleled"
+claim: at city scale sparse or garbage partitions are the common case,
+so every fan-out records *where* time went and *why* lights failed.
+See :class:`StageTelemetry` (per-light accumulator),
+:class:`LightFailure` (typed failure-map entry), and
+:class:`RunReport` (aggregated, JSON-exportable run record).
+"""
+
+from .report import LightFailure, RunReport, format_light_key
+from .telemetry import StageTelemetry
+
+__all__ = ["LightFailure", "RunReport", "StageTelemetry", "format_light_key"]

@@ -1,0 +1,243 @@
+"""Structured per-run reporting: failure taxonomy and RunReport JSON.
+
+A citywide fan-out over thousands of lights needs an answer to "what
+happened?" that survives the run: which lights produced no estimate and
+why (exception class + pipeline stage + message), where the wall time
+went stage by stage, and what the pipeline actually saw (samples,
+stops, candidates).  ``RunReport`` aggregates the per-light
+:class:`~repro.obs.telemetry.StageTelemetry` records that
+``identify_many`` collects and exports one JSON document
+(``repro … --report out.json``).
+
+Schema (``repro.run_report/v1``)::
+
+    {
+      "schema":  "repro.run_report/v1",
+      "runs":    <identify_many invocations aggregated>,
+      "wall_s":  <total fan-out wall time, seconds>,
+      "lights":  {"total": N, "ok": N, "failed": N},
+      "stages":  {"<stage>": {"wall_s": s, "calls": n}, ...},
+      "counters": {"<counter>": n, ...},
+      "failures": {"<iid>:<approach>": {"stage": ..., "error_type": ...,
+                                        "message": ...}, ...},
+      "failure_taxonomy": {"<stage>/<error_type>": n, ...}
+    }
+
+``stages.wall_s`` sums *worker* time, so with W workers it can exceed
+``wall_s`` by up to a factor of W — that ratio is the effective
+parallel efficiency of the run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from .telemetry import StageTelemetry
+
+__all__ = ["LightFailure", "RunReport", "format_light_key"]
+
+
+def format_light_key(key: Any) -> str:
+    """Stable string form of a light key for JSON maps (``"3:NS"``)."""
+    if isinstance(key, tuple):
+        return ":".join(str(part) for part in key)
+    return str(key)
+
+
+@dataclass(frozen=True)
+class LightFailure:
+    """Typed record of one light's failed identification.
+
+    Attributes
+    ----------
+    error_type:
+        The exception class name (``InsufficientDataError``,
+        ``ValueError``, …).
+    stage:
+        The pipeline stage that raised (``samples``, ``stops``,
+        ``cycle``, ``red``, ``superposition``, ``changepoint``,
+        ``refine`` — or ``worker`` when the containment wrapper itself
+        died, e.g. an unpicklable result).
+    message:
+        The exception message.
+    """
+
+    error_type: str
+    stage: str
+    message: str
+
+    @classmethod
+    def from_exception(cls, exc: BaseException, stage: Optional[str]) -> "LightFailure":
+        return cls(
+            error_type=type(exc).__name__,
+            stage=str(stage) if stage else "setup",
+            message=str(exc),
+        )
+
+    @property
+    def insufficient_data(self) -> bool:
+        """True for expected data-poverty failures (not bugs)."""
+        return self.error_type == "InsufficientDataError"
+
+    @property
+    def kind(self) -> str:
+        """Taxonomy bucket: ``"<stage>/<error_type>"``."""
+        return f"{self.stage}/{self.error_type}"
+
+    def __str__(self) -> str:
+        return f"[{self.stage}] {self.error_type}: {self.message}"
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "stage": self.stage,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, str]) -> "LightFailure":
+        return cls(
+            error_type=d["error_type"], stage=d["stage"], message=d.get("message", "")
+        )
+
+
+@dataclass
+class RunReport:
+    """Aggregated observability record of one (or many) fan-out runs.
+
+    Pass an instance to :func:`repro.core.pipeline.identify_many` (or
+    :func:`repro.eval.harness.evaluate_at_times`) and it fills up with
+    per-stage wall times, pipeline counters, and the typed failure map;
+    repeated calls keep aggregating into the same report.
+    """
+
+    n_lights: int = 0
+    n_ok: int = 0
+    n_failed: int = 0
+    runs: int = 0
+    wall_s: float = 0.0
+    telemetry: StageTelemetry = field(default_factory=StageTelemetry)
+    failures: Dict[str, LightFailure] = field(default_factory=dict)
+
+    # -- aggregation -------------------------------------------------
+
+    def record_light(
+        self,
+        key: Any,
+        telemetry: Optional[StageTelemetry] = None,
+        failure: Optional[LightFailure] = None,
+    ) -> None:
+        """Fold one light's outcome (telemetry and/or failure) in."""
+        self.n_lights += 1
+        if telemetry is not None:
+            self.telemetry.merge(telemetry)
+        if failure is None:
+            self.n_ok += 1
+        else:
+            self.n_failed += 1
+            self.failures[format_light_key(key)] = failure
+
+    def finish_run(self, wall_s: float) -> None:
+        """Close out one ``identify_many`` invocation of *wall_s* seconds."""
+        self.runs += 1
+        self.wall_s += float(wall_s)
+
+    # -- views -------------------------------------------------------
+
+    @property
+    def stage_s(self) -> Dict[str, float]:
+        """Per-stage wall-time totals, seconds (summed over workers)."""
+        return self.telemetry.stage_s
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        """Pipeline counter totals."""
+        return self.telemetry.counters
+
+    def failure_taxonomy(self) -> Dict[str, int]:
+        """Failure counts bucketed by ``"<stage>/<error_type>"``."""
+        tax: Dict[str, int] = {}
+        for f in self.failures.values():
+            tax[f.kind] = tax.get(f.kind, 0) + 1
+        return tax
+
+    def summary(self) -> str:
+        """Human-readable multi-line digest (what the CLI prints)."""
+        lines = [
+            f"lights: {self.n_lights}  ok: {self.n_ok}  failed: {self.n_failed}"
+            f"  (runs: {self.runs}, wall: {self.wall_s:.2f}s)"
+        ]
+        if self.stage_s:
+            total = max(self.telemetry.total_s(), 1e-12)
+            lines.append("stage wall time (worker-summed):")
+            for name, s in sorted(self.stage_s.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  {name:<14} {s:8.3f}s  {100 * s / total:5.1f}%")
+        if self.failures:
+            lines.append("failure taxonomy:")
+            for kind, n in sorted(self.failure_taxonomy().items()):
+                lines.append(f"  {kind:<40} {n}")
+        return "\n".join(lines)
+
+    # -- serialization -----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.run_report/v1",
+            "runs": self.runs,
+            "wall_s": self.wall_s,
+            "lights": {
+                "total": self.n_lights,
+                "ok": self.n_ok,
+                "failed": self.n_failed,
+            },
+            "stages": {
+                name: {
+                    "wall_s": self.telemetry.stage_s[name],
+                    "calls": self.telemetry.stage_calls.get(name, 0),
+                }
+                for name in sorted(self.telemetry.stage_s)
+            },
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "failures": {
+                key: f.to_dict() for key, f in sorted(self.failures.items())
+            },
+            "failure_taxonomy": self.failure_taxonomy(),
+        }
+
+    def to_json(self, *, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def save(self, path: Union[str, "object"]) -> None:
+        """Write the JSON document to *path*."""
+        with open(path, "w", encoding="utf-8") as fp:
+            fp.write(self.to_json())
+            fp.write("\n")
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "RunReport":
+        tel = StageTelemetry(
+            stage_s={k: float(v["wall_s"]) for k, v in d.get("stages", {}).items()},
+            stage_calls={k: int(v["calls"]) for k, v in d.get("stages", {}).items()},
+            counters={k: int(v) for k, v in d.get("counters", {}).items()},
+        )
+        lights = d.get("lights", {})
+        return cls(
+            n_lights=int(lights.get("total", 0)),
+            n_ok=int(lights.get("ok", 0)),
+            n_failed=int(lights.get("failed", 0)),
+            runs=int(d.get("runs", 0)),
+            wall_s=float(d.get("wall_s", 0.0)),
+            telemetry=tel,
+            failures={
+                key: LightFailure.from_dict(f)
+                for key, f in d.get("failures", {}).items()
+            },
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, "object"]) -> "RunReport":
+        """Read a report back from a ``--report`` JSON file."""
+        with open(path, encoding="utf-8") as fp:
+            return cls.from_dict(json.load(fp))

@@ -1,0 +1,81 @@
+"""Lightweight stage timers and counters (the observability substrate).
+
+At city scale the interesting questions about an identification run are
+operational: where did the wall time go, how many samples survived each
+filter, which lights failed and at which stage.  ``StageTelemetry`` is
+the accumulator the pipeline stages write into — a picklable bag of
+plain dicts, cheap enough to be always-on (two ``perf_counter`` calls
+and two dict writes per stage).
+
+Workers fill one ``StageTelemetry`` per light inside the process pool
+and ship it back to the parent, which merges them into a
+:class:`repro.obs.report.RunReport`.  The module is dependency-free on
+purpose: ``repro.core`` imports it, never the other way around.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["StageTelemetry"]
+
+
+@dataclass
+class StageTelemetry:
+    """Wall-time and counter accumulator for one light (or one run).
+
+    Attributes
+    ----------
+    stage_s:
+        Accumulated wall time per stage name, seconds.
+    stage_calls:
+        How many times each stage ran.
+    counters:
+        Free-form named counters (samples seen, stops kept, candidates
+        scanned, …) incremented via :meth:`count`.
+    last_stage:
+        The most recently *entered* stage — still set when a stage body
+        raises, which is how failures get attributed to a stage.
+    """
+
+    stage_s: Dict[str, float] = field(default_factory=dict)
+    stage_calls: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    last_stage: Optional[str] = None
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator["StageTelemetry"]:
+        """Time a pipeline stage; the elapsed time accumulates under *name*.
+
+        The stage is recorded even when its body raises, so a crashed
+        run still accounts for the time spent reaching the crash.
+        """
+        self.last_stage = name
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - start
+            self.stage_s[name] = self.stage_s.get(name, 0.0) + elapsed
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment counter *name* by *n*."""
+        self.counters[name] = self.counters.get(name, 0) + int(n)
+
+    def merge(self, other: "StageTelemetry") -> "StageTelemetry":
+        """Fold *other*'s times and counters into this one (returns self)."""
+        for k, v in other.stage_s.items():
+            self.stage_s[k] = self.stage_s.get(k, 0.0) + v
+        for k, c in other.stage_calls.items():
+            self.stage_calls[k] = self.stage_calls.get(k, 0) + c
+        for k, c in other.counters.items():
+            self.counters[k] = self.counters.get(k, 0) + c
+        return self
+
+    def total_s(self) -> float:
+        """Sum of all stage wall times."""
+        return float(sum(self.stage_s.values()))

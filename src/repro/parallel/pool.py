@@ -10,23 +10,78 @@ and measurement before optimization).
 Workers receive picklable ``(func, item)`` pairs; per-item seeds are
 derived with :func:`repro._util.seed_sequence_for` so results are
 reproducible regardless of scheduling order or worker count.
+
+Fault containment: by default an exception in any item aborts the whole
+map (``on_error="raise"``, the historical behavior).  Citywide fan-outs
+instead pass ``on_error="return"``, which converts each failed item
+into a :class:`WorkerError` placed at the item's position — one
+poisoned work item can no longer sink the other items sharing its
+chunk, and the caller gets the exception class, message, and traceback
+to report.
 """
 
 from __future__ import annotations
 
 import os
+import traceback
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .._util import seed_sequence_for
 
-__all__ = ["pmap", "pmap_seeded", "default_workers"]
+__all__ = ["pmap", "pmap_seeded", "default_workers", "WorkerError"]
+
+#: Accepted ``on_error`` policies.
+ON_ERROR = ("raise", "return")
+
+
+@dataclass(frozen=True)
+class WorkerError:
+    """Picklable record of one failed work item (``on_error="return"``).
+
+    Attributes
+    ----------
+    index:
+        Position of the failed item in the input sequence.
+    error_type:
+        Exception class name raised by ``func(item)``.
+    message:
+        Exception message.
+    traceback:
+        Formatted traceback captured inside the worker, for debugging
+        failures that only reproduce under the pool.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    traceback: str
+
+    def __str__(self) -> str:
+        return f"item {self.index}: {self.error_type}: {self.message}"
+
+
+def _available_cpus() -> int:
+    """CPUs actually usable by this process.
+
+    ``os.cpu_count`` reports the machine, not the process: under CPU
+    affinity masks or cgroup limits (typical CI runners) it
+    oversubscribes the pool.  ``sched_getaffinity`` reflects the real
+    allowance where the platform provides it.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
 
 
 def default_workers(max_workers: Optional[int] = None) -> int:
-    """Worker count: ``max_workers`` if given, else ``cpu_count`` capped at 8.
+    """Worker count: ``max_workers`` if given, else available CPUs capped at 8.
 
     The cap keeps test/bench runs polite on shared machines while still
     exercising real multi-process execution.
@@ -35,7 +90,7 @@ def default_workers(max_workers: Optional[int] = None) -> int:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         return max_workers
-    return min(os.cpu_count() or 1, 8)
+    return min(_available_cpus(), 8)
 
 
 def _chunks(items: Sequence, n_chunks: int) -> List[Sequence]:
@@ -46,17 +101,51 @@ def _chunks(items: Sequence, n_chunks: int) -> List[Sequence]:
     return [items[bounds[i]:bounds[i + 1]] for i in range(n_chunks) if bounds[i] < bounds[i + 1]]
 
 
-def _apply_chunk(func: Callable, chunk: Sequence) -> List:
+def _check_on_error(on_error: str) -> None:
+    if on_error not in ON_ERROR:
+        raise ValueError(f"on_error must be one of {ON_ERROR}, got {on_error!r}")
+
+
+def _call_guarded(func: Callable, *args) -> Any:
+    """Run one item, converting any exception into a WorkerError.
+
+    The index is filled in by the parent (position in the flattened
+    result list), so workers don't need to know their global offsets.
+    """
+    try:
+        return func(*args)
+    except Exception as exc:
+        return WorkerError(
+            index=-1,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback=traceback.format_exc(limit=20),
+        )
+
+
+def _fill_indices(results: List) -> List:
+    return [
+        replace(r, index=i) if isinstance(r, WorkerError) else r
+        for i, r in enumerate(results)
+    ]
+
+
+def _apply_chunk(func: Callable, chunk: Sequence, on_error: str) -> List:
+    if on_error == "return":
+        return [_call_guarded(func, item) for item in chunk]
     return [func(item) for item in chunk]
 
 
 def _apply_chunk_seeded(
-    func: Callable, chunk: Sequence[Tuple[int, Any]], base_seed: int
+    func: Callable, chunk: Sequence[Tuple[int, Any]], base_seed: int, on_error: str
 ) -> List:
     out = []
     for index, item in chunk:
         rng = np.random.default_rng(seed_sequence_for(base_seed, index))
-        out.append(func(item, rng))
+        if on_error == "return":
+            out.append(_call_guarded(func, item, rng))
+        else:
+            out.append(func(item, rng))
     return out
 
 
@@ -67,6 +156,7 @@ def pmap(
     max_workers: Optional[int] = None,
     chunks_per_worker: int = 4,
     serial: bool = False,
+    on_error: str = "raise",
 ) -> List:
     """Parallel ``[func(x) for x in items]`` preserving order.
 
@@ -77,25 +167,33 @@ def pmap(
     items:
         Work items; results come back in the same order.
     max_workers:
-        Process count (default: capped cpu count).
+        Process count (default: capped available-CPU count).
     chunks_per_worker:
         Over-decomposition factor for load balance on skewed items
         (e.g. the 25× record-count imbalance of Table II).
     serial:
         Run in-process (debugging, or when *items* is tiny).
+    on_error:
+        ``"raise"`` propagates the first exception (aborting the map);
+        ``"return"`` puts a :class:`WorkerError` at the failed item's
+        position and keeps going.  Identical semantics serial or
+        parallel.
     """
+    _check_on_error(on_error)
     items = list(items)
     if not items:
         return []
     workers = default_workers(max_workers)
     if serial or workers == 1 or len(items) == 1:
-        return [func(x) for x in items]
+        return _fill_indices(_apply_chunk(func, items, on_error))
     chunks = _chunks(items, workers * chunks_per_worker)
     results: List[List] = []
     with ProcessPoolExecutor(max_workers=workers) as ex:
-        for part in ex.map(_apply_chunk, [func] * len(chunks), chunks):
+        for part in ex.map(
+            _apply_chunk, [func] * len(chunks), chunks, [on_error] * len(chunks)
+        ):
             results.append(part)
-    return [y for part in results for y in part]
+    return _fill_indices([y for part in results for y in part])
 
 
 def pmap_seeded(
@@ -106,6 +204,7 @@ def pmap_seeded(
     max_workers: Optional[int] = None,
     chunks_per_worker: int = 4,
     serial: bool = False,
+    on_error: str = "raise",
 ) -> List:
     """Like :func:`pmap` but passes each call an independent RNG.
 
@@ -113,18 +212,23 @@ def pmap_seeded(
     ``(base_seed, item_index)`` — bitwise-identical results whether run
     serially or across any number of processes.
     """
+    _check_on_error(on_error)
     items = list(items)
     if not items:
         return []
     indexed = list(enumerate(items))
     workers = default_workers(max_workers)
     if serial or workers == 1 or len(items) == 1:
-        return _apply_chunk_seeded(func, indexed, base_seed)
+        return _fill_indices(_apply_chunk_seeded(func, indexed, base_seed, on_error))
     chunks = _chunks(indexed, workers * chunks_per_worker)
     results: List[List] = []
     with ProcessPoolExecutor(max_workers=workers) as ex:
         for part in ex.map(
-            _apply_chunk_seeded, [func] * len(chunks), chunks, [base_seed] * len(chunks)
+            _apply_chunk_seeded,
+            [func] * len(chunks),
+            chunks,
+            [base_seed] * len(chunks),
+            [on_error] * len(chunks),
         ):
             results.append(part)
-    return [y for part in results for y in part]
+    return _fill_indices([y for part in results for y in part])

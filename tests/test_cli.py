@@ -53,6 +53,21 @@ class TestPipelineCommands:
         assert "dCycle" in out  # ground truth present -> scored output
         assert "cycle" in out
 
+    def test_identify_writes_report(self, city_prefix, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "report.json")
+        rc = main(["identify", "--city", city_prefix, "--at", "3600",
+                   "--serial", "--report", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote run report" in out
+        doc = json.loads(open(path).read())
+        assert doc["schema"] == "repro.run_report/v1"
+        assert doc["lights"]["total"] > 0
+        assert doc["stages"]  # per-stage wall times present
+        assert doc["counters"]["samples_primary"] > 0
+
     def test_navigate(self, capsys):
         rc = main(["navigate", "--cols", "4", "--rows", "4", "--trips", "4"])
         assert rc == 0

@@ -5,7 +5,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.parallel.pool import default_workers, pmap, pmap_seeded
+from repro.parallel.pool import WorkerError, default_workers, pmap, pmap_seeded
 
 
 def square(x):
@@ -14,6 +14,26 @@ def square(x):
 
 def draw(item, rng):
     return item, int(rng.integers(1_000_000))
+
+
+def fail_on_odd(x):
+    if x % 2:
+        raise ValueError(f"odd {x}")
+    return x * 10
+
+
+def fail_on_odd_seeded(x, rng):
+    if x % 2:
+        raise ValueError(f"odd {x}")
+    return x * 10, int(rng.integers(1_000_000))
+
+
+def normalize(results):
+    """Comparable view: WorkerErrors reduced to their stable fields."""
+    return [
+        (r.index, r.error_type, r.message) if isinstance(r, WorkerError) else r
+        for r in results
+    ]
 
 
 class TestDefaultWorkers:
@@ -26,6 +46,14 @@ class TestDefaultWorkers:
 
     def test_capped(self):
         assert 1 <= default_workers() <= 8
+
+    def test_respects_cpu_affinity(self, monkeypatch):
+        # cgroup/affinity-limited runners expose fewer CPUs than
+        # os.cpu_count(); the default must not oversubscribe them.
+        if not hasattr(os, "sched_getaffinity"):
+            pytest.skip("platform has no sched_getaffinity")
+        monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1})
+        assert default_workers() == 2
 
 
 class TestPmap:
@@ -45,6 +73,48 @@ class TestPmap:
     def test_parallel_equals_serial(self):
         items = list(range(37))
         assert pmap(square, items, max_workers=3) == pmap(square, items, serial=True)
+
+
+class TestPmapOnError:
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            pmap(square, [1], on_error="skip")
+
+    def test_raise_is_the_default(self):
+        with pytest.raises(ValueError):
+            pmap(fail_on_odd, [1, 2], serial=True)
+
+    def test_return_mode_contains_failures(self):
+        out = pmap(fail_on_odd, range(6), serial=True, on_error="return")
+        assert out[0] == 0 and out[2] == 20 and out[4] == 40
+        for i in (1, 3, 5):
+            assert isinstance(out[i], WorkerError)
+            assert out[i].index == i
+            assert out[i].error_type == "ValueError"
+            assert f"odd {i}" in out[i].message
+            assert "ValueError" in out[i].traceback
+
+    def test_return_mode_parallel_survives_poisoned_chunk(self):
+        # items sharing a chunk with a poisoned one still complete
+        out = pmap(fail_on_odd, range(40), max_workers=3, on_error="return")
+        assert len(out) == 40
+        assert sum(isinstance(r, WorkerError) for r in out) == 20
+
+    def test_serial_parallel_parity(self):
+        items = list(range(23))
+        a = pmap(fail_on_odd, items, serial=True, on_error="return")
+        b = pmap(fail_on_odd, items, max_workers=3, on_error="return")
+        assert normalize(a) == normalize(b)
+
+    def test_seeded_parity_and_streams(self):
+        items = list(range(17))
+        a = pmap_seeded(fail_on_odd_seeded, items, base_seed=3, serial=True,
+                        on_error="return")
+        b = pmap_seeded(fail_on_odd_seeded, items, base_seed=3, max_workers=4,
+                        on_error="return")
+        assert normalize(a) == normalize(b)
+        # even items carry real seeded draws, identical across modes
+        assert a[2] == b[2] and isinstance(a[2], tuple)
 
 
 class TestPmapSeeded:

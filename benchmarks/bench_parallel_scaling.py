@@ -12,9 +12,14 @@ a measurement.  Two fan-outs are exercised:
 
 What is *asserted* is the part that must hold everywhere: parallel
 results are identical to serial ones at any worker count (per-task
-seeded RNG streams).  Speedup itself is hardware-dependent — on a
+seeded RNG streams).  Pool speedup itself is hardware-dependent — on a
 single-core host (like some CI sandboxes) process fan-out can only add
 overhead, and the bench reports rather than asserts it.
+
+The batched backend is different: it replaces per-light Python overhead
+with whole-city array kernels, so its speedup does **not** depend on
+core count.  ``test_batched_backend_speedup`` pins it at ≥ 3x over
+serial on a 64-light city — with bit-for-bit identical estimates.
 """
 
 import os
@@ -26,7 +31,11 @@ import pytest
 from conftest import banner
 from repro.core import identify_many
 from repro.eval import simulate_and_partition
+from repro.lights.intersection import SignalPlan, attach_signals_to_network
+from repro.network import grid_network
 from repro.scenario import shenzhen_scenario
+from repro.scenario.small import SmallScenario
+from repro.trace.store import PartitionStore
 
 
 def test_parallel_determinism_and_scaling(benchmark, shenzhen, shenzhen_data):
@@ -83,3 +92,82 @@ def test_parallel_determinism_and_scaling(benchmark, shenzhen, shenzhen_data):
         print("  (single-core host: speedup not expected; determinism is the contract)")
 
     benchmark.pedantic(run_identify, args=(2,), rounds=1, iterations=1)
+
+
+def _city64():
+    """A 64-light city (8x4 grid, two approaches per intersection)."""
+    rng = np.random.default_rng(11)
+    net = grid_network(8, 4, 500.0)
+    plans = {
+        node.id: [
+            SignalPlan(
+                cycle_s=float(rng.choice([60.0, 90.0, 98.0, 120.0])),
+                ns_red_s=39.0,
+                offset_s=float(rng.uniform(0.0, 60.0)),
+            )
+        ]
+        for node in net.signalized_intersections()
+    }
+    signals = attach_signals_to_network(net, plans)
+    rates = {seg.id: 400.0 for seg in net.segments}
+    return SmallScenario(
+        net=net, signals=signals, rate_per_segment=rates, plans=plans
+    )
+
+
+def test_batched_backend_speedup(benchmark):
+    """Batched kernels vs the per-light backends on 64 lights x 10 spots.
+
+    The batched backend's win is algorithmic (one FFT, one vectorized
+    fold-and-scan, one moving-average pass for the whole city), so
+    unlike pool scaling it is asserted: >= 3x over serial, with
+    bit-for-bit identical estimates and failure keys.
+    """
+    scn = _city64()
+    _trace, partitions = simulate_and_partition(scn, 0.0, 5400.0, seed=11)
+    times = [3600.0 + 180.0 * i for i in range(10)]
+
+    def sweep_serial():
+        return {at: identify_many(partitions, at, serial=True) for at in times}
+
+    def sweep_pool():
+        return {
+            at: identify_many(partitions, at, max_workers=4) for at in times
+        }
+
+    def sweep_batched():
+        store = PartitionStore.from_partitions(partitions)
+        return {
+            at: identify_many(store, at, backend="batched") for at in times
+        }
+
+    banner(f"Backend comparison ({len(partitions)} lights, "
+           f"{len(times)} time spots)")
+    t0 = time.perf_counter()
+    ref = sweep_serial()
+    t_serial = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    sweep_pool()
+    t_pool = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    out = sweep_batched()
+    t_batched = time.perf_counter() - t0
+
+    print(f"  serial   {t_serial:6.2f} s   1.00x")
+    print(f"  pool @4w {t_pool:6.2f} s   {t_serial / t_pool:4.2f}x")
+    print(f"  batched  {t_batched:6.2f} s   {t_serial / t_batched:4.2f}x")
+
+    for at in times:
+        e_ref, f_ref = ref[at]
+        e_out, f_out = out[at]
+        assert sorted(e_out) == sorted(e_ref)
+        assert sorted(f_out) == sorted(f_ref)
+        for k in e_ref:
+            assert e_out[k].cycle_s == e_ref[k].cycle_s
+            assert e_out[k].red_s == e_ref[k].red_s
+            assert e_out[k].green_s == e_ref[k].green_s
+    assert t_serial / t_batched >= 3.0, (
+        f"batched backend must be >= 3x serial, got {t_serial / t_batched:.2f}x"
+    )
+
+    benchmark.pedantic(sweep_batched, rounds=1, iterations=1)

@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="analysis window length, seconds")
     ident.add_argument("--serial", action="store_true",
                        help="disable the process pool")
+    ident.add_argument("--backend", choices=("serial", "process", "batched"),
+                       default=None,
+                       help="execution backend (overrides --serial); "
+                            "'batched' runs the whole city through shared "
+                            "vectorized kernels")
     ident.add_argument("--report", metavar="PATH", default=None,
                        help="write the RunReport JSON (stage wall times, "
                             "counters, failure taxonomy) to PATH")
@@ -70,6 +75,9 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--times", type=float, nargs="+", required=True,
                     help="identification time spots (simulation seconds)")
     ev.add_argument("--serial", action="store_true")
+    ev.add_argument("--backend", choices=("serial", "process", "batched"),
+                    default=None,
+                    help="execution backend (overrides --serial)")
     ev.add_argument("--report", metavar="PATH", default=None,
                     help="write the RunReport JSON aggregated over all "
                          "time spots to PATH")
@@ -154,7 +162,8 @@ def _cmd_identify(args) -> int:
     config = PipelineConfig(window_s=args.window)
     report = RunReport() if args.report else None
     estimates, failures = identify_many(
-        partitions, args.at, config=config, serial=args.serial, report=report
+        partitions, args.at, config=config, serial=args.serial,
+        backend=args.backend, report=report,
     )
 
     signals = attach_signals_to_network(net, plans) if plans else None
@@ -207,7 +216,8 @@ def _cmd_evaluate(args) -> int:
 
     report = RunReport() if args.report else None
     result = evaluate_at_times(
-        partitions, truth_fn, args.times, serial=args.serial, report=report
+        partitions, truth_fn, args.times, serial=args.serial,
+        backend=args.backend, report=report,
     )
     print(f"samples: {len(result)}  (data-starved: {result.n_failures})")
     print(summarize_errors(result.cycle_errors, "cycle length "))

@@ -34,7 +34,15 @@ from .monitor import (
     monitor_cycle,
     repair_outliers,
 )
-from .pipeline import PipelineConfig, identify_light, identify_many
+from .batch import (
+    circular_moving_average_batch,
+    cycle_profile_batch,
+    fold_zscore_grid,
+    identify_batch,
+    scan_fold_vec,
+    spectra_batch,
+)
+from .pipeline import BACKENDS, PipelineConfig, identify_light, identify_many
 from .redlight import (
     RedConfig,
     estimate_red_duration,
@@ -80,9 +88,16 @@ __all__ = [
     "detect_plan_changes",
     "monitor_cycle",
     "repair_outliers",
+    "BACKENDS",
     "PipelineConfig",
     "identify_light",
     "identify_many",
+    "identify_batch",
+    "spectra_batch",
+    "fold_zscore_grid",
+    "scan_fold_vec",
+    "cycle_profile_batch",
+    "circular_moving_average_batch",
     "RedConfig",
     "estimate_red_duration",
     "estimate_red_from_stops",

@@ -1,0 +1,563 @@
+"""Batched citywide identification kernels.
+
+The serial pipeline (:mod:`repro.core.pipeline`) runs each light's §V–§VI
+stages on tiny arrays — a lone FFT here, a Python-loop folding scan
+there — so a citywide ``identify_many`` pays per-light Python overhead
+hundreds of times per time spot.  This module stacks the per-light work
+into whole-city array operations:
+
+* **one** ``np.fft.rfft`` over the ``(n_lights, n_seconds)`` matrix of
+  regularized 1 Hz speed grids (:func:`spectra_batch`);
+* **one** vectorized fold-and-scan per scan request — the entire
+  candidate grid of an epoch-folding scan is scored in a single
+  broadcast + offset-``bincount`` pass (:func:`fold_zscore_grid`,
+  :func:`scan_fold_vec`);
+* **one** global fold + ``bincount`` building every light's superposed
+  cycle profile (:func:`cycle_profile_batch`);
+* **one** strided cumulative-sum pass computing every light's circular
+  moving average (:func:`circular_moving_average_batch`).
+
+Bit-for-bit parity with the serial backend is a design requirement, not
+an aspiration: every kernel reproduces the exact floating-point
+operation order of its serial counterpart (same reductions over the
+same contiguous slices), and the per-light *control flow* is shared
+with the serial code through seams (:func:`repro.core.cycle._select_cycle`
+takes the scanner as a parameter; ``find_signal_change`` accepts a
+precomputed moving average).  ``tests/test_batch_parity.py`` and
+``tests/test_kernel_properties.py`` pin this down.
+
+Fault containment composes with PR 1's model: any exception while a
+light is on the batched path sends **that light alone** through the
+serial containment path (:func:`repro.core.pipeline._identify_one`),
+which either recovers an estimate or reproduces the exact serial
+:class:`~repro.obs.report.LightFailure`; the batch never aborts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..lights.schedule import LightSchedule
+from ..matching.partition import LightKey
+from ..network.roadnet import Approach
+from ..obs import LightFailure, StageTelemetry
+from ..trace.store import PartitionStore
+from .changepoint import find_signal_change
+from .cycle import _select_cycle
+from .enhancement import choose_primary, enhance_samples
+from .interpolation import regularize
+from .pipeline import _MIN_RED_S, PipelineConfig, _identify_one
+from .redlight import estimate_red_duration, refine_red_from_change
+from .signal_types import InsufficientDataError, ScheduleEstimate
+from .superposition import fill_circular
+
+__all__ = [
+    "identify_batch",
+    "spectra_batch",
+    "fold_zscore_grid",
+    "scan_fold_vec",
+    "cycle_profile_batch",
+    "circular_moving_average_batch",
+]
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernels (each bit-identical to its serial counterpart)
+# ----------------------------------------------------------------------
+
+def spectra_batch(
+    signals: np.ndarray, dt: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-wise :func:`repro.core.cycle.spectrum` in one ``rfft``.
+
+    ``signals`` is the ``(n_lights, n_seconds)`` stack of regularized
+    grids (equal window lengths); returns the shared ``periods`` axis
+    and the ``(n_lights, n_bins)`` magnitude matrix.  Each row is
+    bit-identical to ``spectrum(signals[i], dt)``.
+    """
+    signals = np.ascontiguousarray(signals, dtype=float)
+    if signals.ndim != 2 or signals.shape[1] < 4:
+        raise ValueError(
+            f"signals must be (n_lights, n_seconds>=4), got {signals.shape}"
+        )
+    x = signals - signals.mean(axis=1, keepdims=True)
+    mag = np.abs(np.fft.rfft(x, axis=1))
+    n = np.arange(1, mag.shape[1])
+    periods = (signals.shape[1] * dt) / n
+    return periods, mag[:, 1:]
+
+
+def fold_zscore_grid(
+    t: np.ndarray,
+    v: np.ndarray,
+    cycles: np.ndarray,
+    bin_s: float,
+    ends: Optional[np.ndarray] = None,
+    end_weight: float = 0.0,
+) -> np.ndarray:
+    """Combined fold (+ stop-end comb) z-scores at many candidate periods.
+
+    Element ``j`` equals what the serial scan computes for ``cycles[j]``:
+    ``fold_zscore(t, v, cycles[j], bin_s)`` plus
+    ``end_weight * stop_end_comb_zscore(ends, cycles[j], bin_s)`` when
+    finite — bit-for-bit, because every reduction runs over the same
+    elements in the same order as the serial kernels (offset ``bincount``
+    preserves per-bin accumulation order; χ² row sums run over exactly
+    the row's ``n_bins`` contiguous entries, never the padding).
+    """
+    cycles = np.asarray(cycles, dtype=float)
+    J = cycles.shape[0]
+    out = np.full(J, -np.inf)
+    if J == 0 or t.size < 4:
+        return out
+    vm = v - v.mean()
+    var = float(vm.var())
+    if var <= 0:
+        return out
+
+    trel = t - t.min()
+    nb = np.maximum(np.ceil(cycles / bin_s).astype(np.int64), 2)
+    NB = int(nb.max())
+    row = np.arange(J, dtype=np.int64)[:, None] * NB
+    folded = np.mod(trel[None, :], cycles[:, None])
+    idx = np.minimum((folded / bin_s).astype(np.int64), (nb - 1)[:, None])
+    flat = (idx + row).ravel()
+    weights = np.broadcast_to(vm, (J, vm.size)).ravel()
+    sums = np.bincount(flat, weights=weights, minlength=J * NB).reshape(J, NB)
+    counts = np.bincount(flat, minlength=J * NB).reshape(J, NB)
+    filled = counts > 0
+    k = filled.sum(axis=1)
+    means = np.where(filled, sums / np.maximum(counts, 1), 0.0)
+    contrib = counts * means**2
+
+    # χ² per row: sum over exactly that row's n_bins slots.  Summing the
+    # zero padding too would change the pairwise association (and the
+    # last bit), so rows are grouped by bin count and reduced over
+    # contiguous (g, n_bins) blocks — the same reduction the serial
+    # kernel performs per row.
+    chi2 = np.empty(J)
+    for b in np.unique(nb):
+        rows = np.flatnonzero(nb == b)
+        block = np.ascontiguousarray(contrib[rows][:, :b])
+        chi2[rows] = np.sum(block, axis=1) / var
+    z = np.where(
+        k >= 2,
+        (chi2 - k) / np.sqrt(2.0 * np.maximum(k, 1)),
+        -np.inf,
+    )
+
+    if ends is not None and end_weight > 0 and ends.shape[0] >= 5:
+        n = ends.shape[0]
+        folded_e = np.mod(np.asarray(ends, dtype=float)[None, :], cycles[:, None])
+        idx_e = np.minimum((folded_e / bin_s).astype(np.int64), (nb - 1)[:, None])
+        flat_e = (idx_e + row).ravel()
+        counts_e = np.bincount(flat_e, minlength=J * NB).reshape(J, NB).astype(float)
+        lam = n / nb
+        ze = (counts_e.max(axis=1) - lam) / np.sqrt(lam + 1e-9)
+        z = np.where(np.isfinite(z), z + end_weight * ze, z)
+    return z
+
+
+def scan_fold_vec(
+    t: np.ndarray,
+    v: np.ndarray,
+    center_s: float,
+    half_width_s: float,
+    step_s: float,
+    bin_s: float,
+    lo_s: float,
+    hi_s: float,
+    ends: Optional[np.ndarray] = None,
+    end_weight: float = 0.0,
+) -> Tuple[float, float]:
+    """Vectorized :func:`repro.core.cycle._scan_fold` (same signature).
+
+    Builds the identical clipped candidate grid, scores it in one
+    :func:`fold_zscore_grid` call, and applies the serial first-maximum
+    tie-break; drop-in as the ``scan`` parameter of
+    :func:`repro.core.cycle._select_cycle`.
+    """
+    lo = max(center_s - half_width_s, lo_s)
+    hi = min(center_s + half_width_s, hi_s)
+    cycles = np.clip(np.arange(lo, hi + step_s / 2, step_s), lo, hi)
+    if cycles.size == 0:
+        return float(center_s), -np.inf
+    z = fold_zscore_grid(t, v, cycles, bin_s, ends=ends, end_weight=end_weight)
+    z = np.where(np.isnan(z), -np.inf, z)
+    # serial tie-break: strict improvement only, so the first maximum
+    # wins — exactly np.argmax's rule
+    j = int(np.argmax(z))
+    if not z[j] > -np.inf:
+        return float(center_s), -np.inf
+    return float(cycles[j]), float(z[j])
+
+
+def cycle_profile_batch(
+    entries: Sequence[Tuple[np.ndarray, np.ndarray, float, float]],
+    *,
+    bin_s: float = 1.0,
+) -> List[Optional[np.ndarray]]:
+    """Superposed cycle profiles for many lights in one fold pass.
+
+    ``entries`` holds ``(t, v, cycle_s, anchor)`` per light; element
+    ``i`` of the result is bit-identical to
+    ``cycle_profile(t, v, cycle_s, anchor, bin_s=bin_s)`` — the global
+    stable sort orders samples by (light, folded time), matching the
+    serial per-light fold order inside every histogram bin.  A light
+    whose profile cannot be built (zero samples) yields ``None`` so the
+    caller can contain it without aborting the batch.
+    """
+    L = len(entries)
+    if L == 0:
+        return []
+    lengths = np.array([e[0].shape[0] for e in entries], dtype=np.int64)
+    cycles = np.array([float(e[2]) for e in entries])
+    anchors = np.array([float(e[3]) for e in entries])
+    nbins = np.maximum(np.ceil(cycles / bin_s).astype(np.int64), 1)
+    offsets = np.concatenate([[0], np.cumsum(nbins)])
+
+    t_all = np.concatenate([np.asarray(e[0], dtype=float) for e in entries]) \
+        if lengths.sum() else np.empty(0)
+    v_all = np.concatenate([np.asarray(e[1], dtype=float) for e in entries]) \
+        if lengths.sum() else np.empty(0)
+    lid = np.repeat(np.arange(L), lengths)
+    cyc = cycles[lid]
+    # wrap_mod, elementwise with a per-sample modulus
+    ft = np.mod(t_all - anchors[lid], cyc)
+    ft = np.where(ft >= cyc, ft - cyc, ft)
+
+    order = np.lexsort((ft, lid))  # stable: serial per-light fold order
+    ft, fv, lid = ft[order], v_all[order], lid[order]
+    idx = np.minimum((ft / bin_s).astype(np.int64), (nbins - 1)[lid])
+    flat = idx + offsets[lid]
+    total = int(offsets[-1])
+    sums = np.bincount(flat, weights=fv, minlength=total)
+    counts = np.bincount(flat, minlength=total)
+
+    profiles: List[Optional[np.ndarray]] = []
+    for i in range(L):
+        s = sums[offsets[i]:offsets[i + 1]]
+        c = counts[offsets[i]:offsets[i + 1]]
+        filled = c > 0
+        if not filled.any():
+            profiles.append(None)
+            continue
+        profile = np.full(int(nbins[i]), np.nan)
+        profile[filled] = s[filled] / c[filled]
+        profiles.append(fill_circular(profile, filled))
+    return profiles
+
+
+def circular_moving_average_batch(
+    profiles: Sequence[np.ndarray], windows: Sequence[int]
+) -> List[np.ndarray]:
+    """Per-light circular moving averages in one strided cumsum pass.
+
+    Element ``i`` is bit-identical to
+    ``circular_moving_average(profiles[i], windows[i])``: each padded
+    row holds the serial code's tiled copy, the shared ``cumsum(axis=1)``
+    reproduces the serial prefix sums (the zero padding only ever sits
+    *after* the used prefix), and the window difference and division run
+    per row with the row's own window.
+    """
+    L = len(profiles)
+    out: List[Optional[np.ndarray]] = [None] * L
+    rows = []
+    for i, (p, w) in enumerate(zip(profiles, windows)):
+        n = p.shape[0]
+        if not 1 <= w <= n:
+            raise ValueError(f"window must be in [1, {n}], got {w}")
+        if w == 1:
+            out[i] = p.astype(float)  # serial w==1 shortcut, same rounding
+        else:
+            rows.append(i)
+    if rows:
+        ns = np.array([profiles[i].shape[0] for i in rows], dtype=np.int64)
+        ws = np.array([int(windows[i]) for i in rows], dtype=np.int64)
+        width = int((ns + ws - 1).max())
+        mat = np.zeros((len(rows), width))
+        for j, i in enumerate(rows):
+            p, n, w = profiles[i], int(ns[j]), int(ws[j])
+            mat[j, :n] = p
+            mat[j, n:n + w - 1] = p[: w - 1]
+        csum = np.concatenate(
+            [np.zeros((len(rows), 1)), np.cumsum(mat, axis=1)], axis=1
+        )
+        for j, i in enumerate(rows):
+            n, w = int(ns[j]), int(ws[j])
+            out[i] = (csum[j, w:w + n] - csum[j, :n]) / w
+    return out  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# Orchestrator
+# ----------------------------------------------------------------------
+
+def identify_batch(
+    store,
+    at_time: float,
+    *,
+    config: Optional[PipelineConfig] = None,
+) -> Tuple[
+    Dict[LightKey, ScheduleEstimate],
+    Dict[LightKey, LightFailure],
+    Dict[LightKey, StageTelemetry],
+]:
+    """Identify every light at ``at_time`` through the batched kernels.
+
+    ``store`` is a :class:`~repro.trace.store.PartitionStore` (a plain
+    partition dict is wrapped on the fly).  Returns
+    ``(estimates, failures, telemetry_by_light)`` with the same
+    estimate/failure contents as the serial backend: stage structure,
+    failure typing, and per-light containment all match, and any light
+    the batched path cannot carry (irregular columns, degenerate grid,
+    kernel edge case) is re-run through the serial containment path
+    rather than aborting the batch.
+    """
+    cfg = PipelineConfig() if config is None else config
+    store = PartitionStore.from_partitions(store)
+    ccfg = cfg.cycle
+    keys = sorted(store)
+    other = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
+    anchor = at_time - cfg.window_s
+    phase_anchor = at_time - cfg.phase_window_s
+
+    tels: Dict[LightKey, StageTelemetry] = {}
+    states: Dict[LightKey, dict] = {}
+    fallback: Dict[LightKey, bool] = {}
+
+    # -- per-light pass 1: samples, stops, regularized grid -------------
+    for key in keys:
+        tel = StageTelemetry()
+        tels[key] = tel
+        if not store.is_regular(key):
+            fallback[key] = True
+            continue
+        try:
+            with tel.stage("samples"):
+                t_own, v_own = store.window_samples(
+                    key, anchor, at_time, cfg.max_sample_dist_m
+                )
+                t, v = t_own, v_own
+                tel.count("samples_primary", int(t_own.shape[0]))
+                enhanced = False
+                perp_key = (key[0], other[key[1]])
+                if (
+                    cfg.use_enhancement
+                    and perp_key in store
+                    and t.shape[0] < cfg.enhancement_threshold
+                ):
+                    tp, vp = store.window_samples(
+                        perp_key, anchor, at_time, cfg.max_sample_dist_m
+                    )
+                    if tp.size:
+                        t1_, v1_, t2_, v2_ = choose_primary(t, v, tp, vp)
+                        t, v = enhance_samples(t1_, v1_, t2_, v2_)
+                        enhanced = True
+                        tel.count("lights_enhanced", 1)
+                        tel.count("samples_mirrored", int(tp.shape[0]))
+
+            with tel.stage("stops"):
+                stops_all = store.stops(key).time_window(
+                    at_time - cfg.stop_window_s, at_time
+                )
+                tel.count("stops_extracted", len(stops_all))
+                stops = (
+                    stops_all.subset(~stops_all.passenger_changed)
+                    if len(stops_all)
+                    else stops_all
+                )
+                tel.count("stops_kept", len(stops))
+                gaps = stops.duration_s / np.maximum(stops.n_records - 1, 1)
+                stop_ends = stops.t_end + gaps / 2.0
+
+            with tel.stage("cycle"):
+                # §V part 1 — regularize onto the shared window grid;
+                # the DFT itself runs once for the whole city below.
+                grid_key = (
+                    "grid", key, float(anchor), float(at_time),
+                    ccfg.dt, ccfg.kind, ccfg.min_samples,
+                    cfg.max_sample_dist_m, cfg.use_enhancement,
+                    cfg.enhancement_threshold,
+                )
+                hit = store.cache.get(grid_key)
+                if hit is None:
+                    hit = regularize(
+                        t, v, anchor, at_time,
+                        dt=ccfg.dt, kind=ccfg.kind, min_samples=ccfg.min_samples,
+                    )
+                    store.cache[grid_key] = hit
+                _grid, sig = hit
+
+            states[key] = dict(
+                t=t, v=v, enhanced=enhanced,
+                stops=stops, stop_ends=stop_ends, sig=sig,
+            )
+        except Exception:
+            fallback[key] = True
+
+    # -- whole-city DFT -------------------------------------------------
+    live = [key for key in keys if key in states]
+    periods = in_band = None
+    if live:
+        sigs = np.stack([states[key]["sig"] for key in live])
+        periods, mags = spectra_batch(sigs, ccfg.dt)
+        in_band = (periods >= ccfg.min_cycle_s) & (periods <= ccfg.max_cycle_s)
+        for i, key in enumerate(live):
+            states[key]["mag"] = mags[i]
+
+    # -- per-light pass 2: cycle selection, red, phase window -----------
+    for key in live:
+        st = states[key]
+        tel = tels[key]
+        try:
+            with tel.stage("cycle"):
+                if not in_band.any():
+                    raise InsufficientDataError(
+                        f"window [{anchor}, {at_time}) has no DFT bin inside "
+                        f"[{ccfg.min_cycle_s}, {ccfg.max_cycle_s}] s"
+                    )
+                cyc = _select_cycle(
+                    st["t"], st["v"], periods, st["mag"], in_band, ccfg,
+                    enhanced=st["enhanced"],
+                    stop_ends=st["stop_ends"] if len(st["stops"]) else None,
+                    telemetry=tel,
+                    scan=scan_fold_vec,
+                )
+                cycle_s = cyc.cycle_s
+
+            with tel.stage("red"):
+                interval_s = (
+                    store.mean_interval(key) if cfg.measure_interval else None
+                )
+                red = estimate_red_duration(
+                    st["stops"].duration_s, cycle_s, cfg.red,
+                    mean_interval_s=interval_s,
+                )
+                tel.count("red_stops_used", red.n_stops_used)
+                tel.count("red_stops_rejected", red.n_stops_rejected)
+                red_s = float(np.clip(red.red_s, _MIN_RED_S, 0.9 * cycle_s))
+
+            with tel.stage("superposition"):
+                t_ph, v_ph = store.window_samples(
+                    key, phase_anchor, at_time, cfg.max_sample_dist_m
+                )
+                if t_ph.shape[0] < 4:
+                    raise InsufficientDataError(
+                        f"only {t_ph.shape[0]} samples for superposition in "
+                        f"window [{phase_anchor}, {at_time})"
+                    )
+                tel.count("samples_phase", int(t_ph.shape[0]))
+
+            st.update(cyc=cyc, cycle_s=cycle_s, red=red, red_s=red_s,
+                      t_ph=t_ph, v_ph=v_ph)
+        except Exception:
+            fallback[key] = True
+
+    # -- whole-city superposition + moving average ----------------------
+    phase_keys = [key for key in live if key not in fallback]
+    profiles: Dict[LightKey, np.ndarray] = {}
+    mas: Dict[LightKey, np.ndarray] = {}
+    if phase_keys:
+        try:
+            profs = cycle_profile_batch(
+                [
+                    (
+                        states[key]["t_ph"], states[key]["v_ph"],
+                        states[key]["cycle_s"], phase_anchor,
+                    )
+                    for key in phase_keys
+                ]
+            )
+        except Exception:
+            profs = [None] * len(phase_keys)
+        built = []
+        for key, profile in zip(phase_keys, profs):
+            if profile is None:
+                fallback[key] = True
+            else:
+                profiles[key] = profile
+                built.append(key)
+        if built:
+            try:
+                windows = [
+                    int(np.clip(round(states[key]["red_s"] / 1.0),
+                                1, profiles[key].shape[0]))
+                    for key in built
+                ]
+                ma_list = circular_moving_average_batch(
+                    [profiles[key] for key in built], windows
+                )
+                mas = dict(zip(built, ma_list))
+            except Exception:
+                mas = {}
+
+    # -- per-light pass 3: change point, refinement, assembly -----------
+    estimates: Dict[LightKey, ScheduleEstimate] = {}
+    failures: Dict[LightKey, LightFailure] = {}
+    for key in phase_keys:
+        if key in fallback:
+            continue
+        st = states[key]
+        tel = tels[key]
+        stops, stop_ends = st["stops"], st["stop_ends"]
+        cycle_s, red_s = st["cycle_s"], st["red_s"]
+        red = st["red"]
+        try:
+            with tel.stage("changepoint"):
+                ends_in_cycle = np.mod(stop_ends - phase_anchor, cycle_s)
+                change = find_signal_change(
+                    profiles[key],
+                    red_s,
+                    stop_ends_in_cycle=ends_in_cycle if len(stops) else None,
+                    fusion_weight=cfg.fusion_weight,
+                    moving_average=mas.get(key),
+                )
+
+            with tel.stage("refine"):
+                red_to_green_abs = phase_anchor + change.red_to_green_s
+                if cfg.refine_red:
+                    refined = refine_red_from_change(
+                        stops, cycle_s, red_to_green_abs
+                    )
+                    if refined is not None:
+                        red_s = float(np.clip(refined, _MIN_RED_S, 0.9 * cycle_s))
+                        red = replace(red, red_s=red_s)
+                        tel.count("red_refined", 1)
+
+            schedule = LightSchedule(
+                cycle_s=cycle_s,
+                red_s=red_s,
+                offset_s=red_to_green_abs - red_s,
+            )
+            estimates[key] = ScheduleEstimate(
+                intersection_id=key[0],
+                approach=key[1],
+                at_time=at_time,
+                schedule=schedule,
+                cycle=st["cyc"],
+                red=red,
+                change=change,
+            )
+        except Exception:
+            fallback[key] = True
+
+    # -- serial containment for everything the batch could not carry ----
+    for key in keys:
+        if key not in fallback:
+            continue
+        perp_key = (key[0], other[key[1]])
+        perp = store.partition(perp_key) if perp_key in store else None
+        _key, est, failure, tel = _identify_one(
+            (store.partition(key), perp, at_time, cfg)
+        )
+        tels[key] = tel
+        if est is not None:
+            estimates[key] = est
+        else:
+            failures[key] = failure
+
+    return estimates, failures, tels

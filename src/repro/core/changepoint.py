@@ -86,6 +86,7 @@ def find_signal_change(
     stop_ends_in_cycle: Optional[np.ndarray] = None,
     fusion_weight: float = 0.5,
     kde_bandwidth_s: float = 5.0,
+    moving_average: Optional[np.ndarray] = None,
 ) -> ChangePointEstimate:
     """Locate the signal change inside a superposed speed profile.
 
@@ -102,6 +103,12 @@ def find_signal_change(
     fusion_weight:
         Weight of the stop-end density (z-scored) against the speed
         score (z-scored); 0 reproduces the paper-literal detector.
+    moving_average:
+        Precomputed ``circular_moving_average(profile, window)`` for the
+        window this red duration implies — the seam the batched backend
+        uses to reuse its strided all-lights moving-average pass.  Must
+        match what this function would compute itself; ``None`` (the
+        default) computes it here.
 
     Returns
     -------
@@ -114,7 +121,15 @@ def find_signal_change(
     profile = check_1d("profile", profile, min_len=2)
     n = profile.shape[0]
     window = int(np.clip(round(red_s / bin_s), 1, n))
-    ma = circular_moving_average(profile, window)
+    ma = (
+        circular_moving_average(profile, window)
+        if moving_average is None
+        else np.asarray(moving_average, dtype=float)
+    )
+    if ma.shape != profile.shape:
+        raise ValueError(
+            f"moving_average has shape {ma.shape}, expected {profile.shape}"
+        )
 
     # Score each candidate red→green instant r: the red window ending at
     # r is [r-window, r), whose moving-average index is (r-window) mod n.

@@ -156,8 +156,13 @@ def fold_zscore(
     k = int(filled.sum())
     if k < 2:
         return -np.inf
-    means = sums[filled] / counts[filled]
-    chi2 = float(np.sum(counts[filled] * means**2) / var)
+    # Full-length (no-compaction) reduction: empty bins contribute an
+    # exact 0.0, so the sum's pairwise association — and hence the
+    # last-bit rounding — is the same for every row of a batched
+    # (n_candidates, n_bins) layout.  This is what lets
+    # repro.core.batch.fold_zscore_grid match this function bit-for-bit.
+    means = np.where(filled, sums / np.maximum(counts, 1), 0.0)
+    chi2 = float(np.sum(counts * means**2) / var)
     return (chi2 - k) / np.sqrt(2.0 * k)
 
 
@@ -221,7 +226,7 @@ def _scan_fold(
 
 def identify_cycle(
     values: np.ndarray,
-    config: CycleConfig = CycleConfig(),
+    config: Optional[CycleConfig] = None,
     *,
     n_samples: int = -1,
     enhanced: bool = False,
@@ -233,6 +238,7 @@ def identify_cycle(
     :func:`identify_cycle_from_samples`, which also sees the raw
     (unregularized) samples the folding statistic needs.
     """
+    config = CycleConfig() if config is None else config
     periods, mag = spectrum(values, config.dt)
     in_band = (periods >= config.min_cycle_s) & (periods <= config.max_cycle_s)
     if not in_band.any():
@@ -254,12 +260,98 @@ def identify_cycle(
     )
 
 
+def _select_cycle(
+    t: np.ndarray,
+    v: np.ndarray,
+    periods: np.ndarray,
+    mag: np.ndarray,
+    in_band: np.ndarray,
+    config: CycleConfig,
+    *,
+    enhanced: bool = False,
+    stop_ends: Optional[np.ndarray] = None,
+    telemetry=None,
+    scan=None,
+) -> CycleEstimate:
+    """Candidate re-scoring + refinement on a precomputed spectrum.
+
+    The control flow shared by the serial backend and
+    :mod:`repro.core.batch`: top-K spectral peaks → folding re-score →
+    fine scan → subharmonic check.  ``scan`` swaps the grid scanner
+    (same signature and semantics as :func:`_scan_fold`); the batched
+    backend passes its vectorized, bit-identical implementation so the
+    two backends differ only in how the scan grid is evaluated.
+    """
+    scan = _scan_fold if scan is None else scan
+    band_mag = np.where(in_band, mag, -np.inf)
+    order = np.argsort(band_mag)[::-1]
+    k = min(config.n_candidates, int(in_band.sum()))
+    candidates = order[:k]
+    ends = None
+    if stop_ends is not None and config.stop_end_weight > 0:
+        ends = np.asarray(stop_ends, dtype=float)
+    ew = config.stop_end_weight
+    if telemetry is not None:
+        telemetry.count("cycle_candidates_scanned", k)
+
+    if k == 1 or t.size < 8:
+        chosen = int(candidates[0])
+        cycle_s = float(periods[chosen])
+        z = fold_zscore(t, v, cycle_s, config.fold_bin_s)
+    else:
+        chosen, cycle_s, z = int(candidates[0]), float(periods[candidates[0]]), -np.inf
+        for b in candidates:
+            c, zc = scan(
+                t, v, float(periods[b]), 4.0, 0.5, config.fold_bin_s,
+                config.min_cycle_s, config.max_cycle_s, ends, ew,
+            )
+            if zc > z:
+                chosen, cycle_s, z = int(b), c, zc
+
+    if config.refine and t.size >= 8:
+        if telemetry is not None:
+            telemetry.count("cycle_refine_scans", 1)
+        cycle_s, z = scan(
+            t, v, cycle_s, 1.5, 0.05, config.refine_bin_s,
+            config.min_cycle_s, config.max_cycle_s, ends, ew,
+        )
+        # Subharmonic check: prefer the smallest period that explains
+        # (nearly) as much of the structure as the winner.  Rational
+        # divisors catch p/q locking (e.g. 3/2 when platoons skip every
+        # other cycle on coordinated arterials).
+        for div in (4, 3, 2, 1.5):
+            cand = cycle_s / div
+            if cand < config.min_cycle_s:
+                continue
+            if telemetry is not None:
+                telemetry.count("cycle_subharmonic_scans", 1)
+            c_sub, z_sub = scan(
+                t, v, cand, 2.5, 0.05, config.refine_bin_s,
+                config.min_cycle_s, config.max_cycle_s, ends, ew,
+            )
+            if np.isfinite(z_sub) and z_sub >= config.subharmonic_alpha * z:
+                cycle_s, z = c_sub, z_sub
+                break
+
+    peak = float(mag[chosen])
+    med = float(np.median(mag[in_band]))
+    quality = z if np.isfinite(z) else (peak / med if med > 0 else float("inf"))
+    return CycleEstimate(
+        cycle_s=float(cycle_s),
+        peak_index=chosen + 1,
+        peak_magnitude=peak,
+        quality=float(quality),
+        n_samples=int(t.shape[0]),
+        enhanced=enhanced,
+    )
+
+
 def identify_cycle_from_samples(
     t: np.ndarray,
     v: np.ndarray,
     t0: float,
     t1: float,
-    config: CycleConfig = CycleConfig(),
+    config: Optional[CycleConfig] = None,
     *,
     enhanced: bool = False,
     stop_ends: Optional[np.ndarray] = None,
@@ -281,6 +373,7 @@ def identify_cycle_from_samples(
     Raises :class:`InsufficientDataError` when the window is too sparse
     (sparse windows are where §V.B's enhancement earns its keep).
     """
+    config = CycleConfig() if config is None else config
     t = check_1d("t", t)
     v = check_1d("v", v)
     grid, sig = regularize(
@@ -293,66 +386,9 @@ def identify_cycle_from_samples(
             f"window [{t0}, {t1}) has no DFT bin inside "
             f"[{config.min_cycle_s}, {config.max_cycle_s}] s"
         )
-    band_mag = np.where(in_band, mag, -np.inf)
-    order = np.argsort(band_mag)[::-1]
-    k = min(config.n_candidates, int(in_band.sum()))
-    candidates = order[:k]
-    ends = None
-    if stop_ends is not None and config.stop_end_weight > 0:
-        ends = np.asarray(stop_ends, dtype=float)
-    ew = config.stop_end_weight
-    if telemetry is not None:
-        telemetry.count("cycle_candidates_scanned", k)
-
-    if k == 1 or t.size < 8:
-        chosen = int(candidates[0])
-        cycle_s = float(periods[chosen])
-        z = fold_zscore(t, v, cycle_s, config.fold_bin_s)
-    else:
-        chosen, cycle_s, z = int(candidates[0]), float(periods[candidates[0]]), -np.inf
-        for b in candidates:
-            c, zc = _scan_fold(
-                t, v, float(periods[b]), 4.0, 0.5, config.fold_bin_s,
-                config.min_cycle_s, config.max_cycle_s, ends, ew,
-            )
-            if zc > z:
-                chosen, cycle_s, z = int(b), c, zc
-
-    if config.refine and t.size >= 8:
-        if telemetry is not None:
-            telemetry.count("cycle_refine_scans", 1)
-        cycle_s, z = _scan_fold(
-            t, v, cycle_s, 1.5, 0.05, config.refine_bin_s,
-            config.min_cycle_s, config.max_cycle_s, ends, ew,
-        )
-        # Subharmonic check: prefer the smallest period that explains
-        # (nearly) as much of the structure as the winner.  Rational
-        # divisors catch p/q locking (e.g. 3/2 when platoons skip every
-        # other cycle on coordinated arterials).
-        for div in (4, 3, 2, 1.5):
-            cand = cycle_s / div
-            if cand < config.min_cycle_s:
-                continue
-            if telemetry is not None:
-                telemetry.count("cycle_subharmonic_scans", 1)
-            c_sub, z_sub = _scan_fold(
-                t, v, cand, 2.5, 0.05, config.refine_bin_s,
-                config.min_cycle_s, config.max_cycle_s, ends, ew,
-            )
-            if np.isfinite(z_sub) and z_sub >= config.subharmonic_alpha * z:
-                cycle_s, z = c_sub, z_sub
-                break
-
-    peak = float(mag[chosen])
-    med = float(np.median(mag[in_band]))
-    quality = z if np.isfinite(z) else (peak / med if med > 0 else float("inf"))
-    return CycleEstimate(
-        cycle_s=float(cycle_s),
-        peak_index=chosen + 1,
-        peak_magnitude=peak,
-        quality=float(quality),
-        n_samples=int(t.shape[0]),
-        enhanced=enhanced,
+    return _select_cycle(
+        t, v, periods, mag, in_band, config,
+        enhanced=enhanced, stop_ends=stop_ends, telemetry=telemetry,
     )
 
 

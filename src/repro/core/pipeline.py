@@ -25,7 +25,8 @@ from ..lights.schedule import LightSchedule
 from ..matching.partition import LightKey, LightPartition
 from ..network.roadnet import Approach
 from ..obs import LightFailure, RunReport, StageTelemetry
-from ..parallel.pool import WorkerError, pmap
+from ..parallel.pool import WorkerError, get_common, pmap
+from ..trace.store import PartitionStore
 from .changepoint import find_signal_change
 from .cycle import CycleConfig, identify_cycle_from_samples
 from .enhancement import choose_primary, enhance_samples
@@ -34,7 +35,16 @@ from .signal_types import InsufficientDataError, ScheduleEstimate
 from .stops import extract_stops
 from .superposition import cycle_profile
 
-__all__ = ["PipelineConfig", "identify_light", "identify_many", "measured_mean_interval"]
+__all__ = [
+    "PipelineConfig",
+    "identify_light",
+    "identify_many",
+    "measured_mean_interval",
+    "BACKENDS",
+]
+
+#: Execution backends accepted by :func:`identify_many`.
+BACKENDS = ("serial", "process", "batched")
 
 #: Floor for the red-duration estimate: one ``cycle_profile`` bin
 #: (``bin_s=1.0``).  The border-interval estimator can return ~0 on
@@ -138,7 +148,7 @@ def identify_light(
     at_time: float,
     *,
     perpendicular: Optional[LightPartition] = None,
-    config: PipelineConfig = PipelineConfig(),
+    config: Optional[PipelineConfig] = None,
     telemetry: Optional[StageTelemetry] = None,
 ) -> ScheduleEstimate:
     """Identify one light's schedule as of ``at_time``.
@@ -162,6 +172,10 @@ def identify_light(
         When even the enhanced window can't support the DFT, or too few
         stop events survive filtering.
     """
+    # A fresh default per call: a def-time PipelineConfig() instance
+    # would be shared by every call in the process (and by every caller
+    # that mutates it through object.__setattr__).
+    config = PipelineConfig() if config is None else config
     tel = telemetry if telemetry is not None else StageTelemetry()
     anchor = at_time - config.window_s
 
@@ -302,14 +316,43 @@ def _identify_one(
         return partition.key, None, LightFailure.from_exception(exc, tel.last_stage), tel
 
 
+def _identify_one_stored(
+    args,
+) -> Tuple[LightKey, Optional[ScheduleEstimate], Optional[LightFailure], StageTelemetry]:
+    """Worker for the store-backed process backend.
+
+    The job carries only ``(key, perp_key, at_time, config)``; the
+    partitions come out of the :class:`~repro.trace.store.PartitionStore`
+    the pool shipped once per worker via ``pmap(..., common=store)``.
+    """
+    key, perp_key, at_time, config = args
+    store = get_common()
+    perp = (
+        store.partition(perp_key)
+        if perp_key is not None and perp_key in store
+        else None
+    )
+    return _identify_one((store.partition(key), perp, at_time, config))
+
+
+def _resolve_backend(backend: Optional[str], serial: bool) -> str:
+    if backend is None:
+        return "serial" if serial else "process"
+    if backend not in BACKENDS:
+        raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+    return backend
+
+
 def identify_many(
     partitions: Dict[LightKey, LightPartition],
     at_time: float,
     *,
-    config: PipelineConfig = PipelineConfig(),
+    config: Optional[PipelineConfig] = None,
     max_workers: Optional[int] = None,
     serial: bool = False,
     report: Optional[RunReport] = None,
+    backend: Optional[str] = None,
+    store: Optional[PartitionStore] = None,
 ) -> Tuple[Dict[LightKey, ScheduleEstimate], Dict[LightKey, LightFailure]]:
     """Identify every partitioned light at ``at_time`` in parallel.
 
@@ -319,23 +362,77 @@ def identify_many(
     :class:`~repro.obs.report.LightFailure` (exception class + pipeline
     stage + message); one bad partition never aborts the others.
 
+    ``backend`` selects the execution strategy (default: ``"serial"``
+    when ``serial=True``, else ``"process"``):
+
+    * ``"serial"`` — the in-process reference path;
+    * ``"process"`` — per-light fan-out over a process pool; with a
+      ``store`` (or a :class:`~repro.trace.store.PartitionStore` as
+      ``partitions``) the store ships once per worker instead of one
+      partition pickle per job;
+    * ``"batched"`` — :func:`repro.core.batch.identify_batch`: the
+      whole city runs through shared vectorized kernels (one FFT, one
+      fold-and-scan, one moving-average pass), bit-for-bit equal to the
+      serial backend, with per-light serial fallback on any failure.
+
+    ``partitions`` may be a plain dict or a ``PartitionStore``; passing
+    the same store across repeated calls (one per time spot) reuses its
+    cached stop events, report intervals, and speed grids.
+
     Pass a :class:`~repro.obs.report.RunReport` as ``report`` to
     aggregate per-stage wall times, pipeline counters, and the failure
     map; repeated calls (e.g. one per time spot) keep folding into the
     same report.
     """
+    config = PipelineConfig() if config is None else config
     t_run0 = time.perf_counter()
+    chosen = _resolve_backend(backend, serial)
     other = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
-    jobs = []
-    for key in sorted(partitions):
-        iid, app = key
-        perp = partitions.get((iid, other[app]))
-        jobs.append((partitions[key], perp, at_time, config))
-    keys = [job[0].key for job in jobs]
-    results = pmap(
-        _identify_one, jobs, max_workers=max_workers, serial=serial,
-        on_error="return",
-    )
+
+    if chosen == "batched":
+        from .batch import identify_batch
+
+        src = store if store is not None else partitions
+        src = PartitionStore.from_partitions(src)
+        estimates, failures = {}, {}
+        b_est, b_fail, tels = identify_batch(src, at_time, config=config)
+        estimates.update(b_est)
+        failures.update(b_fail)
+        if report is not None:
+            for key in sorted(tels):
+                report.record_light(key, tels[key], failures.get(key))
+            report.finish_run(time.perf_counter() - t_run0)
+        return estimates, failures
+
+    shared = store
+    if shared is None and isinstance(partitions, PartitionStore):
+        shared = partitions
+    source = shared if shared is not None else partitions
+
+    if shared is not None and chosen == "process":
+        keys = sorted(shared)
+        jobs_stored = []
+        for key in keys:
+            iid, app = key
+            perp_key = (iid, other[app])
+            jobs_stored.append(
+                (key, perp_key if perp_key in shared else None, at_time, config)
+            )
+        results = pmap(
+            _identify_one_stored, jobs_stored, max_workers=max_workers,
+            on_error="return", common=shared,
+        )
+    else:
+        jobs = []
+        for key in sorted(source):
+            iid, app = key
+            perp = source.get((iid, other[app]))
+            jobs.append((source[key], perp, at_time, config))
+        keys = [job[0].key for job in jobs]
+        results = pmap(
+            _identify_one, jobs, max_workers=max_workers,
+            serial=chosen == "serial", on_error="return",
+        )
     estimates: Dict[LightKey, ScheduleEstimate] = {}
     failures: Dict[LightKey, LightFailure] = {}
     for key, res in zip(keys, results):

@@ -15,7 +15,7 @@ import numpy as np
 
 from .._util import check_1d, check_positive, wrap_mod
 
-__all__ = ["fold_times", "fold_samples", "cycle_profile"]
+__all__ = ["fold_times", "fold_samples", "cycle_profile", "fill_circular"]
 
 
 def fold_times(t: np.ndarray, cycle_s: float, anchor: float = 0.0) -> np.ndarray:
@@ -63,9 +63,21 @@ def cycle_profile(
         raise ValueError("cannot build a cycle profile from zero samples")
     profile = np.full(n_bins, np.nan)
     profile[filled] = sums[filled] / counts[filled]
+    return fill_circular(profile, filled)
+
+
+def fill_circular(profile: np.ndarray, filled: np.ndarray) -> np.ndarray:
+    """Fill empty profile bins by circular linear interpolation, in place.
+
+    ``filled`` marks the populated bins; the profile is periodic, so the
+    last populated bin wraps around to serve as the left neighbour of
+    leading gaps.  Shared by :func:`cycle_profile` and the batched
+    profile kernel in :mod:`repro.core.batch` so both backends fill
+    holes with bit-identical arithmetic.
+    """
     if filled.all():
         return profile
-
+    n_bins = profile.shape[0]
     # Circular interpolation: unwrap the populated bins once around.
     known = np.flatnonzero(filled)
     known_ext = np.concatenate([known, known[:1] + n_bins])

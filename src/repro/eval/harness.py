@@ -22,6 +22,7 @@ from ..matching.mapmatch import MatchConfig, match_trace
 from ..matching.partition import LightKey, LightPartition, partition_by_light
 from ..obs import LightFailure, RunReport
 from ..parallel.pool import pmap_seeded
+from ..trace.store import PartitionStore
 from ..sim.queueing import SignalizedApproachSim
 from ..trace.generator import TraceGenerator
 from ..trace.records import TraceArrays
@@ -121,7 +122,7 @@ def simulate_and_partition(
     *,
     seed: int = 0,
     generator: Optional[TraceGenerator] = None,
-    match_config: MatchConfig = MatchConfig(),
+    match_config: Optional[MatchConfig] = None,
     max_workers: Optional[int] = None,
     serial: bool = False,
     fused: bool = False,
@@ -137,6 +138,9 @@ def simulate_and_partition(
     results are deterministic per seed but follow a different random
     stream than the default two-stage path.
     """
+    # Construct per call: a default in the signature would be one shared
+    # instance across every call site.
+    match_config = MatchConfig() if match_config is None else match_config
     gen = generator or TraceGenerator(scenario.net)
     if fused:
         sim = scenario.simulation()
@@ -163,27 +167,35 @@ def evaluate_at_times(
     truth_fn: TruthFn,
     times: Sequence[float],
     *,
-    config: PipelineConfig = PipelineConfig(),
+    config: Optional[PipelineConfig] = None,
     max_workers: Optional[int] = None,
     serial: bool = False,
+    backend: Optional[str] = None,
     report: Optional[RunReport] = None,
 ) -> EvalResult:
     """Identify every light at every time spot and score it.
 
-    Per-light identification already fans out over processes inside
-    :func:`repro.core.pipeline.identify_many`; time spots run serially
-    so a single process pool is reused efficiently.
+    Per-light identification already fans out inside
+    :func:`repro.core.pipeline.identify_many` (``backend`` selects
+    serial, process-pool, or batched execution); time spots run
+    serially so the per-run column store / process pool is reused
+    efficiently.  The partitions are packed into a
+    :class:`~repro.trace.store.PartitionStore` **once** and shared
+    across every time spot — repeated spots reuse cached per-light
+    grids and stop events instead of re-deriving them per call.
 
     ``report`` (a :class:`~repro.obs.report.RunReport`) aggregates
     stage wall times, counters, and the typed failure map across all
     time spots of the sweep.
     """
+    config = PipelineConfig() if config is None else config
+    store = PartitionStore.from_partitions(partitions)
     samples: List[EvalSample] = []
     for at_time in times:
         estimates, failures = identify_many(
             partitions, float(at_time),
             config=config, max_workers=max_workers, serial=serial,
-            report=report,
+            backend=backend, store=store, report=report,
         )
         for key in sorted(partitions):
             iid, approach = key

@@ -1,5 +1,5 @@
 """Process-level parallel fan-out utilities."""
 
-from .pool import WorkerError, default_workers, pmap, pmap_seeded
+from .pool import WorkerError, default_workers, get_common, pmap, pmap_seeded
 
-__all__ = ["WorkerError", "default_workers", "pmap", "pmap_seeded"]
+__all__ = ["WorkerError", "default_workers", "get_common", "pmap", "pmap_seeded"]

@@ -32,10 +32,30 @@ import numpy as np
 
 from .._util import seed_sequence_for
 
-__all__ = ["pmap", "pmap_seeded", "default_workers", "WorkerError"]
+__all__ = ["pmap", "pmap_seeded", "default_workers", "WorkerError", "get_common"]
 
 #: Accepted ``on_error`` policies.
 ON_ERROR = ("raise", "return")
+
+#: Per-process shared object installed by ``pmap(..., common=...)``.
+_WORKER_COMMON: Any = None
+
+
+def _set_common(value: Any) -> None:
+    global _WORKER_COMMON
+    _WORKER_COMMON = value
+
+
+def get_common() -> Any:
+    """The object passed as ``pmap``'s ``common`` argument.
+
+    ``pmap(..., common=obj)`` pickles ``obj`` **once per worker
+    process** (via the executor initializer) instead of once per work
+    item; worker functions retrieve it here.  ``None`` outside a
+    ``common``-carrying map.  The serial path installs and restores the
+    same global, so worker code is identical either way.
+    """
+    return _WORKER_COMMON
 
 
 @dataclass(frozen=True)
@@ -157,6 +177,7 @@ def pmap(
     chunks_per_worker: int = 4,
     serial: bool = False,
     on_error: str = "raise",
+    common: Any = None,
 ) -> List:
     """Parallel ``[func(x) for x in items]`` preserving order.
 
@@ -178,6 +199,12 @@ def pmap(
         ``"return"`` puts a :class:`WorkerError` at the failed item's
         position and keeps going.  Identical semantics serial or
         parallel.
+    common:
+        Optional shared object shipped to each worker process **once**
+        (executor initializer) rather than once per item; workers read
+        it back with :func:`get_common`.  Used to share a
+        :class:`~repro.trace.store.PartitionStore` across a citywide
+        fan-out.  Identical semantics serial or parallel.
     """
     _check_on_error(on_error)
     items = list(items)
@@ -185,10 +212,21 @@ def pmap(
         return []
     workers = default_workers(max_workers)
     if serial or workers == 1 or len(items) == 1:
-        return _fill_indices(_apply_chunk(func, items, on_error))
+        if common is None:
+            return _fill_indices(_apply_chunk(func, items, on_error))
+        previous = get_common()
+        _set_common(common)
+        try:
+            return _fill_indices(_apply_chunk(func, items, on_error))
+        finally:
+            _set_common(previous)
     chunks = _chunks(items, workers * chunks_per_worker)
+    init_kwargs = (
+        {} if common is None
+        else {"initializer": _set_common, "initargs": (common,)}
+    )
     results: List[List] = []
-    with ProcessPoolExecutor(max_workers=workers) as ex:
+    with ProcessPoolExecutor(max_workers=workers, **init_kwargs) as ex:
         for part in ex.map(
             _apply_chunk, [func] * len(chunks), chunks, [on_error] * len(chunks)
         ):

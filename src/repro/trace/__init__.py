@@ -14,6 +14,7 @@ from .io import (
     write_trace,
 )
 from .records import BODY_COLORS, TaxiRecord, TraceArrays, plate_of, sim_card_of
+from .store import PartitionStore
 from .stats import (
     STATIONARY_DISTANCE_M,
     ConsecutivePairs,
@@ -40,6 +41,7 @@ __all__ = [
     "BODY_COLORS",
     "TaxiRecord",
     "TraceArrays",
+    "PartitionStore",
     "plate_of",
     "sim_card_of",
     "STATIONARY_DISTANCE_M",

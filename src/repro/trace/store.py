@@ -1,0 +1,338 @@
+"""Run-scoped column store of partitioned records.
+
+``identify_many`` historically re-pickled every :class:`LightPartition`
+into the process pool on every call — for ``evaluate_at_times`` that is
+once per light per time spot.  A :class:`PartitionStore` flattens all
+partitions into one set of contiguous columns (CSR-style: per-light row
+ranges over shared arrays) built **once per run**, and layers the
+caches the identification pipeline re-derives per call on top of it:
+
+* ``window_samples`` — ``(t, speed)`` extraction near the stop line,
+  O(log n) via ``searchsorted`` on the time-sorted rows instead of a
+  full boolean mask per call;
+* ``stops`` — the per-light :class:`~repro.core.stops.StopEvents`,
+  extracted once over the whole partition and time-windowed per spot;
+* ``mean_interval`` — the measured mean report interval, which never
+  changes between time spots;
+* ``cache`` — an open memo dictionary the batched backend uses for
+  regularized grids and other per-(light, window) intermediates.
+
+The store also travels cheaply across process boundaries: pickling
+ships the columns once per worker (via ``pmap(..., common=...)``), and
+with ``mmap_dir`` set the columns are spilled to ``.npy`` files so
+workers re-open them memory-mapped and the pickle payload shrinks to
+the file paths.
+
+Extraction semantics are bit-identical to the per-partition code paths
+(the parity suite ``tests/test_batch_parity.py`` holds them together).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .records import TraceArrays
+
+__all__ = ["PartitionStore"]
+
+#: Partition key: (intersection id, approach group) — mirrors
+#: :data:`repro.matching.partition.LightKey` without importing it
+#: (matching sits above trace in the layer order).
+LightKey = Tuple[int, str]
+
+#: Per-record columns beyond the raw trace fields.
+_EXTRA_COLUMNS = ("segment_id", "dist_to_stopline_m")
+
+_ALL_COLUMNS = TraceArrays.COLUMNS + _EXTRA_COLUMNS
+
+
+class PartitionStore:
+    """Columnar, cache-carrying view over a city's light partitions.
+
+    Build once per run with :meth:`from_partitions`; behaves as a
+    read-only mapping from :data:`LightKey` to
+    :class:`~repro.matching.partition.LightPartition` (reconstructed as
+    zero-copy column slices), so it can stand in for the plain
+    partition dict everywhere in the pipeline.
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[LightKey],
+        offsets: np.ndarray,
+        columns: Dict[str, np.ndarray],
+        *,
+        irregular: Optional[Dict[LightKey, Any]] = None,
+        mmap_dir: Optional[str] = None,
+    ) -> None:
+        self._regular_keys: List[LightKey] = [
+            (int(iid), str(app)) for iid, app in keys
+        ]
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+        if self._offsets.shape[0] != len(self._regular_keys) + 1:
+            raise ValueError(
+                f"offsets has length {self._offsets.shape[0]}, expected "
+                f"{len(self._regular_keys) + 1}"
+            )
+        missing = [c for c in _ALL_COLUMNS if c not in columns]
+        if missing:
+            raise ValueError(f"columns missing {missing}")
+        self._columns: Optional[Dict[str, np.ndarray]] = dict(columns)
+        # Partitions whose columns disagree on length cannot be stored
+        # columnar without corrupting their neighbours' row ranges; they
+        # ride along as-is and always take the serial path.
+        self._irregular: Dict[LightKey, Any] = dict(irregular or {})
+        self._mmap_dir = mmap_dir
+        self._init_derived()
+
+    def _init_derived(self) -> None:
+        self._keys: List[LightKey] = sorted(
+            list(self._regular_keys) + list(self._irregular)
+        )
+        self._index: Dict[LightKey, int] = {
+            key: i for i, key in enumerate(self._regular_keys)
+        }
+        t = self.columns["t"]
+        self._time_sorted = np.array(
+            [
+                bool(np.all(np.diff(t[self._offsets[i]:self._offsets[i + 1]]) >= 0))
+                for i in range(len(self._regular_keys))
+            ],
+            dtype=bool,
+        )
+        self._partitions: Dict[LightKey, Any] = {}
+        self._stops: Dict[LightKey, Any] = {}
+        self._intervals: Dict[LightKey, float] = {}
+        #: Open memo for per-(light, window) intermediates — the batched
+        #: backend parks regularized grids and enhanced sample windows
+        #: here so repeated ``evaluate_at_times`` spots reuse them.
+        self.cache: Dict[Any, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Construction / persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_partitions(
+        cls, partitions, *, mmap_dir: Optional[str] = None
+    ) -> "PartitionStore":
+        """Flatten a partition mapping into one columnar store.
+
+        ``partitions`` maps :data:`LightKey` to
+        :class:`~repro.matching.partition.LightPartition` (a store is
+        returned unchanged).  With ``mmap_dir`` the columns are written
+        as ``.npy`` files there and re-opened memory-mapped, so worker
+        processes share pages instead of copies.
+        """
+        if isinstance(partitions, cls):
+            return partitions
+        keys: List[LightKey] = []
+        irregular: Dict[LightKey, Any] = {}
+        for key in sorted(partitions):
+            if _is_regular(partitions[key]):
+                keys.append(key)
+            else:
+                irregular[key] = partitions[key]
+        offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+        for i, key in enumerate(keys):
+            offsets[i + 1] = offsets[i] + len(partitions[key])
+        columns: Dict[str, np.ndarray] = {}
+        for name in TraceArrays.COLUMNS:
+            columns[name] = _concat(
+                [getattr(partitions[key].trace, name) for key in keys]
+            )
+        columns["segment_id"] = _concat(
+            [np.asarray(partitions[key].segment_id) for key in keys]
+        )
+        columns["dist_to_stopline_m"] = _concat(
+            [np.asarray(partitions[key].dist_to_stopline_m, dtype=float) for key in keys]
+        )
+        store = cls(keys, offsets, columns, irregular=irregular)
+        if mmap_dir is not None:
+            store.spill_to(mmap_dir)
+        return store
+
+    def spill_to(self, mmap_dir: str) -> None:
+        """Write the columns to ``mmap_dir`` and re-open them mapped.
+
+        After this, pickling the store ships only metadata + file paths
+        and every process re-opens the same pages read-only.
+        """
+        os.makedirs(mmap_dir, exist_ok=True)
+        assert self._columns is not None
+        for name, col in self._columns.items():
+            np.save(os.path.join(mmap_dir, f"{name}.npy"), col)
+        self._mmap_dir = mmap_dir
+        self._columns = None  # reload lazily, memory-mapped
+
+    @property
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The shared column arrays (lazily re-opened when mapped)."""
+        if self._columns is None:
+            assert self._mmap_dir is not None
+            self._columns = {
+                name: np.load(
+                    os.path.join(self._mmap_dir, f"{name}.npy"), mmap_mode="r"
+                )
+                for name in _ALL_COLUMNS
+            }
+        return self._columns
+
+    def __getstate__(self):
+        state = {
+            "keys": self._regular_keys,
+            "offsets": self._offsets,
+            "irregular": self._irregular,
+            "mmap_dir": self._mmap_dir,
+            # mapped columns reload from disk in the receiving process
+            "columns": self._columns if self._mmap_dir is None else None,
+        }
+        return state
+
+    def __setstate__(self, state) -> None:
+        self._regular_keys = state["keys"]
+        self._offsets = state["offsets"]
+        self._irregular = state["irregular"]
+        self._mmap_dir = state["mmap_dir"]
+        self._columns = state["columns"]
+        self._init_derived()
+
+    # ------------------------------------------------------------------
+    # Mapping protocol (drop-in for Dict[LightKey, LightPartition])
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __iter__(self) -> Iterator[LightKey]:
+        return iter(self._keys)
+
+    def __contains__(self, key) -> bool:
+        return key in self._index or key in self._irregular
+
+    def keys(self) -> List[LightKey]:
+        return list(self._keys)
+
+    def __getitem__(self, key: LightKey):
+        return self.partition(key)
+
+    def get(self, key: LightKey, default=None):
+        return self.partition(key) if key in self else default
+
+    def is_regular(self, key: LightKey) -> bool:
+        """False for pass-through partitions with inconsistent columns
+        (those always take the serial path)."""
+        return key in self._index
+
+    @property
+    def n_records(self) -> int:
+        return int(self._offsets[-1])
+
+    # ------------------------------------------------------------------
+    # Cached per-light views
+    # ------------------------------------------------------------------
+    def _range(self, key: LightKey) -> Tuple[int, int]:
+        i = self._index[key]
+        return int(self._offsets[i]), int(self._offsets[i + 1])
+
+    def partition(self, key: LightKey):
+        """The light's :class:`LightPartition`, as zero-copy slices."""
+        if key in self._irregular:
+            return self._irregular[key]
+        part = self._partitions.get(key)
+        if part is None:
+            from ..matching.partition import LightPartition
+
+            lo, hi = self._range(key)
+            cols = self.columns
+            trace = TraceArrays(
+                **{name: cols[name][lo:hi] for name in TraceArrays.COLUMNS}
+            )
+            part = LightPartition(
+                intersection_id=key[0],
+                approach=key[1],
+                trace=trace,
+                segment_id=np.asarray(cols["segment_id"][lo:hi]),
+                dist_to_stopline_m=np.asarray(cols["dist_to_stopline_m"][lo:hi]),
+            )
+            self._partitions[key] = part
+        return part
+
+    def window_samples(
+        self, key: LightKey, t0: float, t1: float, max_dist_m: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(t, speed) near the stop line within ``[t0, t1)``.
+
+        Identical values to
+        :func:`repro.core.pipeline._window_samples` on the equivalent
+        partition; time-sorted lights use a binary search instead of a
+        full mask.
+        """
+        if key in self._irregular:
+            p = self._irregular[key]
+            keep = (
+                (p.trace.t >= t0)
+                & (p.trace.t < t1)
+                & (p.dist_to_stopline_m <= max_dist_m)
+            )
+            return p.trace.t[keep], p.trace.speed_kmh[keep]
+        lo, hi = self._range(key)
+        cols = self.columns
+        t = cols["t"][lo:hi]
+        dist = cols["dist_to_stopline_m"][lo:hi]
+        v = cols["speed_kmh"][lo:hi]
+        if self._time_sorted[self._index[key]]:
+            a = int(np.searchsorted(t, t0, side="left"))
+            b = int(np.searchsorted(t, t1, side="left"))
+            near = dist[a:b] <= max_dist_m
+            return t[a:b][near], v[a:b][near]
+        keep = (t >= t0) & (t < t1) & (dist <= max_dist_m)
+        return t[keep], v[keep]
+
+    def stops(self, key: LightKey):
+        """The light's stop events, extracted once per store lifetime."""
+        events = self._stops.get(key)
+        if events is None:
+            from ..core.stops import extract_stops
+
+            events = extract_stops(self.partition(key))
+            self._stops[key] = events
+        return events
+
+    def mean_interval(self, key: LightKey, default_s: float = 20.14) -> float:
+        """Measured mean report interval (cached; see pipeline)."""
+        interval = self._intervals.get(key)
+        if interval is None:
+            from ..core.pipeline import measured_mean_interval
+
+            interval = measured_mean_interval(self.partition(key), default_s)
+            self._intervals[key] = interval
+        return interval
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        backing = f"mmap:{self._mmap_dir}" if self._mmap_dir else "in-memory"
+        return (
+            f"PartitionStore({len(self._keys)} lights, "
+            f"{self.n_records:,} records, {backing})"
+        )
+
+
+def _is_regular(partition) -> bool:
+    """All per-record columns agree on one length."""
+    try:
+        n = len(partition.trace)
+        cols = [getattr(partition.trace, name) for name in TraceArrays.COLUMNS]
+        cols += [
+            np.asarray(partition.segment_id),
+            np.asarray(partition.dist_to_stopline_m),
+        ]
+        return all(c.ndim == 1 and c.shape[0] == n for c in cols)
+    except Exception:
+        return False
+
+
+def _concat(parts: List[np.ndarray]) -> np.ndarray:
+    if not parts:
+        return np.empty(0)
+    return np.concatenate(parts)

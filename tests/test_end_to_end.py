@@ -23,6 +23,10 @@ from repro.scenario import small_scenario
 from repro.sim import ApproachConfig, CitySimulation
 from repro.trace import TraceGenerator, read_trace, write_trace
 
+# Full-stack sweeps (multi-second simulations, plan-change detection);
+# the fast CI tier skips them.
+pytestmark = pytest.mark.slow
+
 
 class TestSimulateToIdentify:
     def test_full_stack_accuracy(self, city, partitions):

@@ -107,6 +107,7 @@ class TestEvaluateAtTimes:
         assert len(sub) == 1
 
 
+@pytest.mark.slow
 class TestFusedSimulatePath:
     def test_fused_deterministic_across_workers(self):
         from repro.scenario import small_scenario

@@ -57,6 +57,7 @@ class TestIdentifyManyContainment:
         assert key in fails
         assert fails[key].error_type == "InsufficientDataError"
 
+    @pytest.mark.slow
     def test_corrupt_arrays_do_not_abort_pool(self, partitions):
         key = sorted(partitions)[0]
         p = partitions[key]

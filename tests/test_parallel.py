@@ -7,6 +7,9 @@ import pytest
 
 from repro.parallel.pool import WorkerError, default_workers, pmap, pmap_seeded
 
+# Process pools dominate this module's runtime; the fast CI tier skips it.
+pytestmark = pytest.mark.slow
+
 
 def square(x):
     return x * x

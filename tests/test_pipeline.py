@@ -95,6 +95,7 @@ class TestIdentifyMany:
         assert len(ests) + len(fails) == len(partitions)
         assert len(ests) >= 6
 
+    @pytest.mark.slow
     def test_parallel_equals_serial(self, partitions):
         serial, _ = identify_many(partitions, 5400.0, serial=True)
         parallel, _ = identify_many(partitions, 5400.0, max_workers=4)
@@ -108,3 +109,49 @@ class TestIdentifyMany:
             PipelineConfig(window_s=0.0)
         with pytest.raises(ValueError):
             PipelineConfig(phase_window_s=-5.0)
+
+
+class TestNoSharedDefaultConfig:
+    """Regression: ``config=PipelineConfig()`` *in the signature* is one
+    shared instance for every call — mutating it (even through
+    ``object.__setattr__`` on the frozen dataclass) would leak into all
+    later calls.  The defaults must be constructed per call.
+    """
+
+    def test_signature_defaults_are_none(self):
+        import inspect
+
+        from repro.core.cycle import identify_cycle, identify_cycle_from_samples
+        from repro.eval.harness import evaluate_at_times, simulate_and_partition
+
+        for fn, name in [
+            (identify_light, "config"),
+            (identify_many, "config"),
+            (identify_cycle, "config"),
+            (identify_cycle_from_samples, "config"),
+            (evaluate_at_times, "config"),
+            (simulate_and_partition, "match_config"),
+        ]:
+            default = inspect.signature(fn).parameters[name].default
+            assert default is None, (
+                f"{fn.__name__}({name}=...) must default to None, "
+                f"not a shared instance"
+            )
+
+    def test_mutated_config_cannot_leak_between_calls(self, partitions):
+        key = sorted(partitions)[0]
+        ref = identify_many(partitions, 5400.0, serial=True)
+
+        # a caller passes (and then corrupts) its own config ...
+        cfg = PipelineConfig()
+        identify_many({key: partitions[key]}, 5400.0, serial=True, config=cfg)
+        object.__setattr__(cfg, "window_s", 1.0)
+        object.__setattr__(cfg, "use_enhancement", False)
+
+        # ... later default-config calls must be unaffected
+        out = identify_many(partitions, 5400.0, serial=True)
+        assert sorted(out[0]) == sorted(ref[0])
+        assert sorted(out[1]) == sorted(ref[1])
+        for k in ref[0]:
+            assert out[0][k].cycle_s == ref[0][k].cycle_s
+            assert out[0][k].red_s == ref[0][k].red_s

@@ -191,10 +191,16 @@ class TestPropertyRandomSchedules:
                            dwell_probability=0.0, record_all_vehicles=True),
             segment_id=0,
         )
-        tracks = sim.run(0.0, 900.0, rng=1)
+        t0, t1 = 0.0, 900.0
+        tracks = sim.run(t0, t1, rng=1)
         for tr in tracks:
             assert np.all(np.diff(tr.dist_to_stopline_m) <= 1e-9)
             assert np.all(tr.dist_to_stopline_m >= 0.0)
-            # crossing = reached the line while still moving
-            if tr.dist_to_stopline_m[-1] <= 0.5 and tr.speed_mps[-1] > 0.5:
+            # crossing = reached the line while still moving.  A track
+            # cut off by the simulation horizon is excluded: a vehicle
+            # braking into the stop line at t1 can show a positive
+            # step-average speed at distance ~0 without ever crossing.
+            truncated = tr.t[-1] >= t1 - 1.0
+            if (not truncated and tr.dist_to_stopline_m[-1] <= 0.5
+                    and tr.speed_mps[-1] > 0.5):
                 assert not bool(sched.is_red(float(tr.t[-1])))

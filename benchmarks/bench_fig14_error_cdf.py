@@ -41,13 +41,13 @@ def test_fig14_error_cdfs(benchmark, shenzhen, shenzhen_data):
         ("red light length", result.red_errors),
         ("signal change time", result.change_errors),
     ]
-    header = "  {:<20}".format("|error| <=") + "".join(
+    header = f"  {'|error| <=':<20}" + "".join(
         f"{c:>7.0f}s" for c in CHECKPOINTS
     )
     print(header)
     for name, errs in rows:
         cdf = cdf_at(np.nan_to_num(errs, nan=np.inf), CHECKPOINTS)
-        print("  {:<20}".format(name) + "".join(f"{100 * v:>7.0f}%" for v in cdf))
+        print(f"  {name:<20}" + "".join(f"{100 * v:>7.0f}%" for v in cdf))
 
     cyc = result.cycle_errors
     print("\n  paper: cycle CDF bimodal, ~7% of errors > 10 s;"

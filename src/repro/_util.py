@@ -7,9 +7,10 @@ use them without import cycles.
 from __future__ import annotations
 
 import numbers
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "as_rng",
@@ -84,7 +85,12 @@ def check_in_range(
     return v
 
 
-def check_1d(name: str, arr: Sequence, dtype=float, min_len: int = 0) -> np.ndarray:
+def check_1d(
+    name: str,
+    arr: npt.ArrayLike,
+    dtype: npt.DTypeLike = float,
+    min_len: int = 0,
+) -> np.ndarray:
     """Coerce *arr* to a 1-D ndarray of *dtype*, validating length."""
     a = np.asarray(arr, dtype=dtype)
     if a.ndim != 1:
@@ -94,7 +100,7 @@ def check_1d(name: str, arr: Sequence, dtype=float, min_len: int = 0) -> np.ndar
     return a
 
 
-def wrap_mod(value, period: float):
+def wrap_mod(value: npt.ArrayLike, period: float) -> np.ndarray:
     """``value mod period`` mapped into ``[0, period)``; vectorized.
 
     Unlike raw ``np.mod``, float rounding can never yield ``period``
@@ -106,7 +112,7 @@ def wrap_mod(value, period: float):
     return np.where(r >= period, r - period, r)
 
 
-def circular_diff(a, b, period: float):
+def circular_diff(a: npt.ArrayLike, b: npt.ArrayLike, period: float) -> np.ndarray:
     """Smallest signed difference ``a - b`` on a circle of given *period*.
 
     The result lies in ``[-period/2, period/2)``.  Used for signal-change

@@ -1,0 +1,82 @@
+"""``python -m repro.analysis`` — the invariant linter CLI.
+
+Exit status: 0 when the tree is clean, 1 when any finding survives
+suppression, 2 on usage errors.  Designed to sit next to ``ruff`` and
+``mypy`` as a third named CI step, so failures attribute cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .engine import run_paths
+from .rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Repo-specific invariant linter (REP rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+        known = {rule.id for rule in ALL_RULES}
+        unknown = [rule_id for rule_id in select if rule_id not in known]
+        if unknown:
+            parser.error(f"unknown rule id(s): {', '.join(unknown)}")
+
+    try:
+        findings = run_paths(args.paths, select=select)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        checked = ", ".join(args.paths)
+        if findings:
+            print(f"{len(findings)} finding(s) in {checked}", file=sys.stderr)
+        else:
+            print(f"clean: {checked}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""Lint driver: file discovery, suppressions, rule dispatch.
+
+Separated from :mod:`repro.analysis.rules` so rules stay declarative
+and the driver owns everything positional: path normalization, the
+``# repro: allow[REP00x]`` suppression protocol, and the policy that
+scoped suppressions (REP002) are only honored at their sanctioned
+files.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from .rules import ALL_RULES, Finding, Rule, SUPPRESSION_SCOPE
+
+__all__ = ["Finding", "lint_source", "lint_file", "run_paths", "module_path"]
+
+#: Trailing-comment suppression: ``# repro: allow[REP001]`` or
+#: ``# repro: allow[REP001,REP003]`` on the finding's line.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
+
+_RULE_IDS = frozenset(rule.id for rule in ALL_RULES)
+
+
+def module_path(path: str) -> str:
+    """Path from the ``repro`` package root, else the normalized path.
+
+    ``/any/prefix/src/repro/core/batch.py`` → ``repro/core/batch.py``;
+    paths outside the package (tests, benchmarks, examples) come back
+    with separators normalized so rule scoping is platform-stable.
+    """
+    norm = path.replace(os.sep, "/").replace("\\", "/")
+    marker = "/repro/"
+    i = norm.rfind(marker)
+    if i != -1:
+        return "repro/" + norm[i + len(marker):]
+    if norm.startswith("repro/"):
+        return norm
+    return norm
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Line number -> rule ids allowed on that line."""
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        allowed[lineno] = ids
+    return allowed
+
+
+def _unsanctioned_suppressions(
+    suppressions: Dict[int, Set[str]], path: str, mod_path: str
+) -> List[Finding]:
+    """Scoped suppressions used outside their sanctioned files.
+
+    An ``allow`` comment for REP002 anywhere except the containment
+    seams would quietly re-open the bug class the rule closes, so the
+    suppression itself is a violation (and cannot be suppressed).
+    """
+    findings: List[Finding] = []
+    for lineno in sorted(suppressions):
+        for rule_id in sorted(suppressions[lineno]):
+            sanctioned = SUPPRESSION_SCOPE.get(rule_id)
+            if sanctioned is not None and mod_path not in sanctioned:
+                findings.append(
+                    Finding(
+                        rule=rule_id,
+                        path=path,
+                        line=lineno,
+                        col=0,
+                        message=(
+                            f"suppression of {rule_id} is only sanctioned in "
+                            f"{sanctioned}; this file must satisfy the "
+                            f"invariant instead"
+                        ),
+                    )
+                )
+            elif rule_id not in _RULE_IDS:
+                findings.append(
+                    Finding(
+                        rule="REP000",
+                        path=path,
+                        line=lineno,
+                        col=0,
+                        message=f"suppression names unknown rule {rule_id!r}",
+                    )
+                )
+    return findings
+
+
+def lint_source(
+    source: str,
+    path: str,
+    *,
+    select: Optional[Sequence[str]] = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Finding]:
+    """Lint one file's source text; returns unsuppressed findings."""
+    mod_path = module_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="REP000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    suppressions = _suppressions(source)
+    findings = list(_unsanctioned_suppressions(suppressions, path, mod_path))
+    for rule in rules:
+        if select is not None and rule.id not in select:
+            continue
+        if not rule.applies(mod_path):
+            continue
+        for finding in rule.check(tree, path, mod_path):
+            if finding.rule in suppressions.get(finding.line, ()):  # suppressed
+                continue
+            findings.append(finding)
+    if select is not None:
+        findings = [f for f in findings if f.rule in select or f.rule == "REP000"]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(
+    path: str,
+    *,
+    select: Optional[Sequence[str]] = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Finding]:
+    """Lint one file from disk."""
+    with open(path, encoding="utf-8") as fp:
+        source = fp.read()
+    return lint_source(source, path, select=select, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            out.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return sorted(out)
+
+
+def run_paths(
+    paths: Iterable[str],
+    *,
+    select: Optional[Sequence[str]] = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> List[Finding]:
+    """Lint every ``.py`` file under *paths*; findings sorted by location."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, select=select, rules=rules))
+    return findings

@@ -30,7 +30,10 @@ Fault containment composes with PR 1's model: any exception while a
 light is on the batched path sends **that light alone** through the
 serial containment path (:func:`repro.core.pipeline._identify_one`),
 which either recovers an estimate or reproduces the exact serial
-:class:`~repro.obs.report.LightFailure`; the batch never aborts.
+:class:`~repro.obs.report.LightFailure`; the batch never aborts.  Every
+risky per-light step routes through the sanctioned containment seam
+(:func:`repro.parallel.pool.run_guarded`) — this module itself holds no
+catch-all handlers (the REP002 invariant).
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ from ..lights.schedule import LightSchedule
 from ..matching.partition import LightKey
 from ..network.roadnet import Approach
 from ..obs import LightFailure, StageTelemetry
+from ..parallel.pool import WorkerError, run_guarded
 from ..trace.store import PartitionStore
 from .changepoint import find_signal_change
 from .cycle import _select_cycle
@@ -141,7 +145,7 @@ def fold_zscore_grid(
     chi2 = np.empty(J)
     for b in np.unique(nb):
         rows = np.flatnonzero(nb == b)
-        block = np.ascontiguousarray(contrib[rows][:, :b])
+        block = np.ascontiguousarray(contrib[rows][:, :b], dtype=float)
         chi2[rows] = np.sum(block, axis=1) / var
     z = np.where(
         k >= 2,
@@ -214,8 +218,8 @@ def cycle_profile_batch(
     if L == 0:
         return []
     lengths = np.array([e[0].shape[0] for e in entries], dtype=np.int64)
-    cycles = np.array([float(e[2]) for e in entries])
-    anchors = np.array([float(e[3]) for e in entries])
+    cycles = np.array([float(e[2]) for e in entries], dtype=float)
+    anchors = np.array([float(e[3]) for e in entries], dtype=float)
     nbins = np.maximum(np.ceil(cycles / bin_s).astype(np.int64), 1)
     offsets = np.concatenate([[0], np.cumsum(nbins)])
 
@@ -296,8 +300,221 @@ def circular_moving_average_batch(
 # Orchestrator
 # ----------------------------------------------------------------------
 
+def _prepare_light(
+    store: PartitionStore,
+    key: LightKey,
+    perp_key: LightKey,
+    cfg: PipelineConfig,
+    anchor: float,
+    at_time: float,
+    tel: StageTelemetry,
+) -> dict:
+    """Pass 1 for one light: samples, stops, regularized grid.
+
+    Raises on any per-light problem; the orchestrator routes the call
+    through :func:`repro.parallel.pool.run_guarded` and sends failing
+    lights down the serial containment path.
+    """
+    ccfg = cfg.cycle
+    with tel.stage("samples"):
+        t_own, v_own = store.window_samples(
+            key, anchor, at_time, cfg.max_sample_dist_m
+        )
+        t, v = t_own, v_own
+        tel.count("samples_primary", int(t_own.shape[0]))
+        enhanced = False
+        if (
+            cfg.use_enhancement
+            and perp_key in store
+            and t.shape[0] < cfg.enhancement_threshold
+        ):
+            tp, vp = store.window_samples(
+                perp_key, anchor, at_time, cfg.max_sample_dist_m
+            )
+            if tp.size:
+                t1_, v1_, t2_, v2_ = choose_primary(t, v, tp, vp)
+                t, v = enhance_samples(t1_, v1_, t2_, v2_)
+                enhanced = True
+                tel.count("lights_enhanced", 1)
+                tel.count("samples_mirrored", int(tp.shape[0]))
+
+    with tel.stage("stops"):
+        stops_all = store.stops(key).time_window(
+            at_time - cfg.stop_window_s, at_time
+        )
+        tel.count("stops_extracted", len(stops_all))
+        stops = (
+            stops_all.subset(~stops_all.passenger_changed)
+            if len(stops_all)
+            else stops_all
+        )
+        tel.count("stops_kept", len(stops))
+        gaps = stops.duration_s / np.maximum(stops.n_records - 1, 1)
+        stop_ends = stops.t_end + gaps / 2.0
+
+    with tel.stage("cycle"):
+        # §V part 1 — regularize onto the shared window grid;
+        # the DFT itself runs once for the whole city later.
+        grid_key = (
+            "grid", key, float(anchor), float(at_time),
+            ccfg.dt, ccfg.kind, ccfg.min_samples,
+            cfg.max_sample_dist_m, cfg.use_enhancement,
+            cfg.enhancement_threshold,
+        )
+        hit = store.cache.get(grid_key)
+        if hit is None:
+            hit = regularize(
+                t, v, anchor, at_time,
+                dt=ccfg.dt, kind=ccfg.kind, min_samples=ccfg.min_samples,
+            )
+            store.cache[grid_key] = hit
+        _grid, sig = hit
+
+    return dict(
+        t=t, v=v, enhanced=enhanced,
+        stops=stops, stop_ends=stop_ends, sig=sig,
+    )
+
+
+def _score_light(
+    store: PartitionStore,
+    key: LightKey,
+    st: dict,
+    cfg: PipelineConfig,
+    periods: np.ndarray,
+    in_band: np.ndarray,
+    anchor: float,
+    at_time: float,
+    phase_anchor: float,
+    tel: StageTelemetry,
+) -> dict:
+    """Pass 2 for one light: cycle selection, red, phase window.
+
+    Mutates and returns ``st``; raises on failure (routed through the
+    containment seam by the orchestrator).
+    """
+    ccfg = cfg.cycle
+    with tel.stage("cycle"):
+        if not in_band.any():
+            raise InsufficientDataError(
+                f"window [{anchor}, {at_time}) has no DFT bin inside "
+                f"[{ccfg.min_cycle_s}, {ccfg.max_cycle_s}] s"
+            )
+        cyc = _select_cycle(
+            st["t"], st["v"], periods, st["mag"], in_band, ccfg,
+            enhanced=st["enhanced"],
+            stop_ends=st["stop_ends"] if len(st["stops"]) else None,
+            telemetry=tel,
+            scan=scan_fold_vec,
+        )
+        cycle_s = cyc.cycle_s
+
+    with tel.stage("red"):
+        interval_s = (
+            store.mean_interval(key) if cfg.measure_interval else None
+        )
+        red = estimate_red_duration(
+            st["stops"].duration_s, cycle_s, cfg.red,
+            mean_interval_s=interval_s,
+        )
+        tel.count("red_stops_used", red.n_stops_used)
+        tel.count("red_stops_rejected", red.n_stops_rejected)
+        red_s = float(np.clip(red.red_s, _MIN_RED_S, 0.9 * cycle_s))
+
+    with tel.stage("superposition"):
+        t_ph, v_ph = store.window_samples(
+            key, phase_anchor, at_time, cfg.max_sample_dist_m
+        )
+        if t_ph.shape[0] < 4:
+            raise InsufficientDataError(
+                f"only {t_ph.shape[0]} samples for superposition in "
+                f"window [{phase_anchor}, {at_time})"
+            )
+        tel.count("samples_phase", int(t_ph.shape[0]))
+
+    st.update(cyc=cyc, cycle_s=cycle_s, red=red, red_s=red_s,
+              t_ph=t_ph, v_ph=v_ph)
+    return st
+
+
+def _batch_moving_averages(
+    states: Dict[LightKey, dict],
+    profiles: Dict[LightKey, np.ndarray],
+    built: List[LightKey],
+) -> Dict[LightKey, np.ndarray]:
+    """All built lights' circular moving averages in one strided pass.
+
+    Raises on any problem; the orchestrator treats that as "no batched
+    moving averages" and lets the change-point step recompute serially.
+    """
+    windows = [
+        int(np.clip(round(states[key]["red_s"] / 1.0),
+                    1, profiles[key].shape[0]))
+        for key in built
+    ]
+    ma_list = circular_moving_average_batch(
+        [profiles[key] for key in built], windows
+    )
+    return dict(zip(built, ma_list))
+
+
+def _assemble_light(
+    key: LightKey,
+    st: dict,
+    profile: np.ndarray,
+    ma: Optional[np.ndarray],
+    cfg: PipelineConfig,
+    phase_anchor: float,
+    at_time: float,
+    tel: StageTelemetry,
+) -> ScheduleEstimate:
+    """Pass 3 for one light: change point, refinement, assembly.
+
+    Raises on failure (routed through the containment seam by the
+    orchestrator).
+    """
+    stops, stop_ends = st["stops"], st["stop_ends"]
+    cycle_s, red_s = st["cycle_s"], st["red_s"]
+    red = st["red"]
+    with tel.stage("changepoint"):
+        ends_in_cycle = np.mod(stop_ends - phase_anchor, cycle_s)
+        change = find_signal_change(
+            profile,
+            red_s,
+            stop_ends_in_cycle=ends_in_cycle if len(stops) else None,
+            fusion_weight=cfg.fusion_weight,
+            moving_average=ma,
+        )
+
+    with tel.stage("refine"):
+        red_to_green_abs = phase_anchor + change.red_to_green_s
+        if cfg.refine_red:
+            refined = refine_red_from_change(
+                stops, cycle_s, red_to_green_abs
+            )
+            if refined is not None:
+                red_s = float(np.clip(refined, _MIN_RED_S, 0.9 * cycle_s))
+                red = replace(red, red_s=red_s)
+                tel.count("red_refined", 1)
+
+    schedule = LightSchedule(
+        cycle_s=cycle_s,
+        red_s=red_s,
+        offset_s=red_to_green_abs - red_s,
+    )
+    return ScheduleEstimate(
+        intersection_id=key[0],
+        approach=key[1],
+        at_time=at_time,
+        schedule=schedule,
+        cycle=st["cyc"],
+        red=red,
+        change=change,
+    )
+
+
 def identify_batch(
-    store,
+    store: PartitionStore,
     at_time: float,
     *,
     config: Optional[PipelineConfig] = None,
@@ -336,68 +553,14 @@ def identify_batch(
         if not store.is_regular(key):
             fallback[key] = True
             continue
-        try:
-            with tel.stage("samples"):
-                t_own, v_own = store.window_samples(
-                    key, anchor, at_time, cfg.max_sample_dist_m
-                )
-                t, v = t_own, v_own
-                tel.count("samples_primary", int(t_own.shape[0]))
-                enhanced = False
-                perp_key = (key[0], other[key[1]])
-                if (
-                    cfg.use_enhancement
-                    and perp_key in store
-                    and t.shape[0] < cfg.enhancement_threshold
-                ):
-                    tp, vp = store.window_samples(
-                        perp_key, anchor, at_time, cfg.max_sample_dist_m
-                    )
-                    if tp.size:
-                        t1_, v1_, t2_, v2_ = choose_primary(t, v, tp, vp)
-                        t, v = enhance_samples(t1_, v1_, t2_, v2_)
-                        enhanced = True
-                        tel.count("lights_enhanced", 1)
-                        tel.count("samples_mirrored", int(tp.shape[0]))
-
-            with tel.stage("stops"):
-                stops_all = store.stops(key).time_window(
-                    at_time - cfg.stop_window_s, at_time
-                )
-                tel.count("stops_extracted", len(stops_all))
-                stops = (
-                    stops_all.subset(~stops_all.passenger_changed)
-                    if len(stops_all)
-                    else stops_all
-                )
-                tel.count("stops_kept", len(stops))
-                gaps = stops.duration_s / np.maximum(stops.n_records - 1, 1)
-                stop_ends = stops.t_end + gaps / 2.0
-
-            with tel.stage("cycle"):
-                # §V part 1 — regularize onto the shared window grid;
-                # the DFT itself runs once for the whole city below.
-                grid_key = (
-                    "grid", key, float(anchor), float(at_time),
-                    ccfg.dt, ccfg.kind, ccfg.min_samples,
-                    cfg.max_sample_dist_m, cfg.use_enhancement,
-                    cfg.enhancement_threshold,
-                )
-                hit = store.cache.get(grid_key)
-                if hit is None:
-                    hit = regularize(
-                        t, v, anchor, at_time,
-                        dt=ccfg.dt, kind=ccfg.kind, min_samples=ccfg.min_samples,
-                    )
-                    store.cache[grid_key] = hit
-                _grid, sig = hit
-
-            states[key] = dict(
-                t=t, v=v, enhanced=enhanced,
-                stops=stops, stop_ends=stop_ends, sig=sig,
-            )
-        except Exception:
+        perp_key = (key[0], other[key[1]])
+        state = run_guarded(
+            _prepare_light, store, key, perp_key, cfg, anchor, at_time, tel
+        )
+        if isinstance(state, WorkerError):
             fallback[key] = True
+        else:
+            states[key] = state
 
     # -- whole-city DFT -------------------------------------------------
     live = [key for key in keys if key in states]
@@ -411,50 +574,11 @@ def identify_batch(
 
     # -- per-light pass 2: cycle selection, red, phase window -----------
     for key in live:
-        st = states[key]
-        tel = tels[key]
-        try:
-            with tel.stage("cycle"):
-                if not in_band.any():
-                    raise InsufficientDataError(
-                        f"window [{anchor}, {at_time}) has no DFT bin inside "
-                        f"[{ccfg.min_cycle_s}, {ccfg.max_cycle_s}] s"
-                    )
-                cyc = _select_cycle(
-                    st["t"], st["v"], periods, st["mag"], in_band, ccfg,
-                    enhanced=st["enhanced"],
-                    stop_ends=st["stop_ends"] if len(st["stops"]) else None,
-                    telemetry=tel,
-                    scan=scan_fold_vec,
-                )
-                cycle_s = cyc.cycle_s
-
-            with tel.stage("red"):
-                interval_s = (
-                    store.mean_interval(key) if cfg.measure_interval else None
-                )
-                red = estimate_red_duration(
-                    st["stops"].duration_s, cycle_s, cfg.red,
-                    mean_interval_s=interval_s,
-                )
-                tel.count("red_stops_used", red.n_stops_used)
-                tel.count("red_stops_rejected", red.n_stops_rejected)
-                red_s = float(np.clip(red.red_s, _MIN_RED_S, 0.9 * cycle_s))
-
-            with tel.stage("superposition"):
-                t_ph, v_ph = store.window_samples(
-                    key, phase_anchor, at_time, cfg.max_sample_dist_m
-                )
-                if t_ph.shape[0] < 4:
-                    raise InsufficientDataError(
-                        f"only {t_ph.shape[0]} samples for superposition in "
-                        f"window [{phase_anchor}, {at_time})"
-                    )
-                tel.count("samples_phase", int(t_ph.shape[0]))
-
-            st.update(cyc=cyc, cycle_s=cycle_s, red=red, red_s=red_s,
-                      t_ph=t_ph, v_ph=v_ph)
-        except Exception:
+        scored = run_guarded(
+            _score_light, store, key, states[key], cfg, periods, in_band,
+            anchor, at_time, phase_anchor, tels[key],
+        )
+        if isinstance(scored, WorkerError):
             fallback[key] = True
 
     # -- whole-city superposition + moving average ----------------------
@@ -462,17 +586,17 @@ def identify_batch(
     profiles: Dict[LightKey, np.ndarray] = {}
     mas: Dict[LightKey, np.ndarray] = {}
     if phase_keys:
-        try:
-            profs = cycle_profile_batch(
-                [
-                    (
-                        states[key]["t_ph"], states[key]["v_ph"],
-                        states[key]["cycle_s"], phase_anchor,
-                    )
-                    for key in phase_keys
-                ]
-            )
-        except Exception:
+        profs = run_guarded(
+            cycle_profile_batch,
+            [
+                (
+                    states[key]["t_ph"], states[key]["v_ph"],
+                    states[key]["cycle_s"], phase_anchor,
+                )
+                for key in phase_keys
+            ],
+        )
+        if isinstance(profs, WorkerError):
             profs = [None] * len(phase_keys)
         built = []
         for key, profile in zip(phase_keys, profs):
@@ -482,18 +606,10 @@ def identify_batch(
                 profiles[key] = profile
                 built.append(key)
         if built:
-            try:
-                windows = [
-                    int(np.clip(round(states[key]["red_s"] / 1.0),
-                                1, profiles[key].shape[0]))
-                    for key in built
-                ]
-                ma_list = circular_moving_average_batch(
-                    [profiles[key] for key in built], windows
-                )
-                mas = dict(zip(built, ma_list))
-            except Exception:
-                mas = {}
+            # With no batched moving averages, pass 3 lets
+            # find_signal_change recompute each light's serially.
+            got = run_guarded(_batch_moving_averages, states, profiles, built)
+            mas = {} if isinstance(got, WorkerError) else got
 
     # -- per-light pass 3: change point, refinement, assembly -----------
     estimates: Dict[LightKey, ScheduleEstimate] = {}
@@ -501,49 +617,14 @@ def identify_batch(
     for key in phase_keys:
         if key in fallback:
             continue
-        st = states[key]
-        tel = tels[key]
-        stops, stop_ends = st["stops"], st["stop_ends"]
-        cycle_s, red_s = st["cycle_s"], st["red_s"]
-        red = st["red"]
-        try:
-            with tel.stage("changepoint"):
-                ends_in_cycle = np.mod(stop_ends - phase_anchor, cycle_s)
-                change = find_signal_change(
-                    profiles[key],
-                    red_s,
-                    stop_ends_in_cycle=ends_in_cycle if len(stops) else None,
-                    fusion_weight=cfg.fusion_weight,
-                    moving_average=mas.get(key),
-                )
-
-            with tel.stage("refine"):
-                red_to_green_abs = phase_anchor + change.red_to_green_s
-                if cfg.refine_red:
-                    refined = refine_red_from_change(
-                        stops, cycle_s, red_to_green_abs
-                    )
-                    if refined is not None:
-                        red_s = float(np.clip(refined, _MIN_RED_S, 0.9 * cycle_s))
-                        red = replace(red, red_s=red_s)
-                        tel.count("red_refined", 1)
-
-            schedule = LightSchedule(
-                cycle_s=cycle_s,
-                red_s=red_s,
-                offset_s=red_to_green_abs - red_s,
-            )
-            estimates[key] = ScheduleEstimate(
-                intersection_id=key[0],
-                approach=key[1],
-                at_time=at_time,
-                schedule=schedule,
-                cycle=st["cyc"],
-                red=red,
-                change=change,
-            )
-        except Exception:
+        est = run_guarded(
+            _assemble_light, key, states[key], profiles[key], mas.get(key),
+            cfg, phase_anchor, at_time, tels[key],
+        )
+        if isinstance(est, WorkerError):
             fallback[key] = True
+        else:
+            estimates[key] = est
 
     # -- serial containment for everything the batch could not carry ----
     for key in keys:

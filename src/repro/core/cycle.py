@@ -33,11 +33,12 @@ the paper's plain argmax (bench ``bench_ablation_dft``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
 from .._util import check_1d, check_positive
+from ..obs.telemetry import SupportsCount
 from .signal_types import CycleEstimate, InsufficientDataError
 from .interpolation import regularize
 
@@ -270,8 +271,8 @@ def _select_cycle(
     *,
     enhanced: bool = False,
     stop_ends: Optional[np.ndarray] = None,
-    telemetry=None,
-    scan=None,
+    telemetry: Optional[SupportsCount] = None,
+    scan: Optional[Callable[..., Tuple[float, float]]] = None,
 ) -> CycleEstimate:
     """Candidate re-scoring + refinement on a precomputed spectrum.
 
@@ -355,7 +356,7 @@ def identify_cycle_from_samples(
     *,
     enhanced: bool = False,
     stop_ends: Optional[np.ndarray] = None,
-    telemetry=None,
+    telemetry: Optional[SupportsCount] = None,
 ) -> CycleEstimate:
     """End-to-end §V: regularize over ``[t0, t1)``, DFT, select, refine.
 

@@ -78,7 +78,7 @@ class HighFreqConfig:
 
 
 def start_events(
-    partition: LightPartition, config: HighFreqConfig = HighFreqConfig()
+    partition: LightPartition, config: Optional[HighFreqConfig] = None
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Extract (start_time, observed_wait) pairs from a partition.
 
@@ -87,6 +87,7 @@ def start_events(
     pair.  The observed wait is the stretch of consecutive stopped
     reports leading up to it.
     """
+    config = HighFreqConfig() if config is None else config
     trace = partition.trace
     if len(trace) < 2:
         return np.empty(0), np.empty(0)
@@ -119,13 +120,14 @@ def identify_light_highfreq(
     at_time: float,
     *,
     window_s: float = 1800.0,
-    config: HighFreqConfig = HighFreqConfig(),
+    config: Optional[HighFreqConfig] = None,
 ) -> LightSchedule:
     """Event-based schedule identification (the baseline).
 
     Raises :class:`InsufficientDataError` when too few kinematic events
     are observable — the expected outcome on low-frequency taxi data.
     """
+    config = HighFreqConfig() if config is None else config
     sub = partition.time_window(at_time - window_s, at_time)
     times, waits = start_events(sub, config)
     if times.size < config.min_events:

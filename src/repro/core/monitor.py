@@ -20,6 +20,7 @@ import numpy as np
 
 from .._util import check_positive
 from ..matching.partition import LightPartition
+from ..parallel.pool import WorkerError, run_guarded
 from .cycle import CycleConfig, identify_cycle_from_samples
 from .signal_types import InsufficientDataError
 
@@ -73,7 +74,7 @@ def monitor_cycle(
     *,
     every_s: float = 300.0,
     window_s: float = 1800.0,
-    config: CycleConfig = CycleConfig(),
+    config: Optional[CycleConfig] = None,
 ) -> MonitorSeries:
     """Estimate the cycle every ``every_s`` seconds over ``[t0, t1]``.
 
@@ -81,6 +82,7 @@ def monitor_cycle(
     records, exactly like the paper's continuous monitoring (5-minute
     re-estimation, Fig. 12).
     """
+    config = CycleConfig() if config is None else config
     check_positive("every_s", every_s)
     check_positive("window_s", window_s)
     times = np.arange(t0 + window_s, t1 + 1e-9, every_s)
@@ -89,16 +91,16 @@ def monitor_cycle(
     n_errors = 0
     for i, tau in enumerate(times):
         sub = partition.time_window(tau - window_s, tau)
-        try:
-            est = identify_cycle_from_samples(
-                sub.trace.t, sub.trace.speed_kmh, tau - window_s, tau, config
-            )
-        except InsufficientDataError:
-            continue
-        except Exception:
-            # A degenerate window must not sink hours of monitoring;
-            # record it and keep scanning.
-            n_errors += 1
+        # A degenerate window must not sink hours of monitoring: the
+        # estimate runs through the sanctioned containment seam, and
+        # anything other than expected data poverty counts as an error.
+        est = run_guarded(
+            identify_cycle_from_samples,
+            sub.trace.t, sub.trace.speed_kmh, tau - window_s, tau, config,
+        )
+        if isinstance(est, WorkerError):
+            if est.error_type != InsufficientDataError.__name__:
+                n_errors += 1
             continue
         cycles[i] = est.cycle_s
         quality[i] = est.quality

@@ -14,7 +14,6 @@ the parallelism the paper gets for free from per-light partitioning.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
@@ -293,7 +292,7 @@ def identify_light(
 
 
 def _identify_one(
-    args,
+    args: Tuple[LightPartition, Optional[LightPartition], float, "PipelineConfig"],
 ) -> Tuple[LightKey, Optional[ScheduleEstimate], Optional[LightFailure], StageTelemetry]:
     """Worker: identify one light, containing *every* per-light failure.
 
@@ -312,12 +311,12 @@ def _identify_one(
             perpendicular=perpendicular, config=config, telemetry=tel,
         )
         return partition.key, est, None, tel
-    except Exception as exc:
+    except Exception as exc:  # repro: allow[REP002] - per-light containment seam
         return partition.key, None, LightFailure.from_exception(exc, tel.last_stage), tel
 
 
 def _identify_one_stored(
-    args,
+    args: Tuple[LightKey, Optional[LightKey], float, "PipelineConfig"],
 ) -> Tuple[LightKey, Optional[ScheduleEstimate], Optional[LightFailure], StageTelemetry]:
     """Worker for the store-backed process backend.
 
@@ -384,8 +383,34 @@ def identify_many(
     map; repeated calls (e.g. one per time spot) keep folding into the
     same report.
     """
+    # The only clock in this module is the report's own timer: REP004
+    # keeps repro.core free of wall-clock reads, so run timing lives in
+    # repro.obs and is engaged only when a report asks for it.
+    if report is not None:
+        with report.run_timer():
+            return _identify_many_run(
+                partitions, at_time, config=config, max_workers=max_workers,
+                serial=serial, report=report, backend=backend, store=store,
+            )
+    return _identify_many_run(
+        partitions, at_time, config=config, max_workers=max_workers,
+        serial=serial, report=report, backend=backend, store=store,
+    )
+
+
+def _identify_many_run(
+    partitions: Dict[LightKey, LightPartition],
+    at_time: float,
+    *,
+    config: Optional[PipelineConfig],
+    max_workers: Optional[int],
+    serial: bool,
+    report: Optional[RunReport],
+    backend: Optional[str],
+    store: Optional[PartitionStore],
+) -> Tuple[Dict[LightKey, ScheduleEstimate], Dict[LightKey, LightFailure]]:
+    """The fan-out body of :func:`identify_many` (timing handled there)."""
     config = PipelineConfig() if config is None else config
-    t_run0 = time.perf_counter()
     chosen = _resolve_backend(backend, serial)
     other = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
 
@@ -401,7 +426,6 @@ def identify_many(
         if report is not None:
             for key in sorted(tels):
                 report.record_light(key, tels[key], failures.get(key))
-            report.finish_run(time.perf_counter() - t_run0)
         return estimates, failures
 
     shared = store
@@ -453,6 +477,4 @@ def identify_many(
             failures[key] = failure
         if report is not None:
             report.record_light(key, tel, failure)
-    if report is not None:
-        report.finish_run(time.perf_counter() - t_run0)
     return estimates, failures

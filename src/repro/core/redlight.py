@@ -72,7 +72,7 @@ class RedConfig:
 def estimate_red_duration(
     durations: np.ndarray,
     cycle_s: float,
-    config: RedConfig = RedConfig(),
+    config: Optional[RedConfig] = None,
     *,
     mean_interval_s: Optional[float] = None,
 ) -> RedEstimate:
@@ -84,6 +84,7 @@ def estimate_red_duration(
     *measured* on the actual partition, like the paper uses its fleet's
     measured 20.14 s.
     """
+    config = RedConfig() if config is None else config
     durations = check_1d("durations", durations)
     cycle_s = check_positive("cycle_s", cycle_s)
 
@@ -152,7 +153,7 @@ def estimate_red_duration(
 def estimate_red_from_stops(
     stops: StopEvents,
     cycle_s: float,
-    config: RedConfig = RedConfig(),
+    config: Optional[RedConfig] = None,
     *,
     drop_passenger_changes: bool = True,
     mean_interval_s: Optional[float] = None,
@@ -162,6 +163,7 @@ def estimate_red_from_stops(
     ``drop_passenger_changes=False`` disables stage 2 — used by the
     filtering ablation bench to show why the paper needs it.
     """
+    config = RedConfig() if config is None else config
     if drop_passenger_changes and len(stops):
         stops = stops.subset(~stops.passenger_changed)
     return estimate_red_duration(

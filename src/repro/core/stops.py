@@ -46,7 +46,7 @@ class StopEvents:
         """Observed stop durations (end − start)."""
         return self.t_end - self.t_start
 
-    def subset(self, index) -> "StopEvents":
+    def subset(self, index: np.ndarray) -> "StopEvents":
         return StopEvents(
             taxi_id=self.taxi_id[index],
             t_start=self.t_start[index],

@@ -147,7 +147,7 @@ class ManualController(LightController):
     ) -> None:
         self.base = base
         self.overrides = sorted(overrides, key=lambda o: o[0])
-        for (s0, e0, _), (s1, _e1, _2) in zip(self.overrides, self.overrides[1:]):
+        for (_s0, e0, _), (s1, _e1, _2) in zip(self.overrides, self.overrides[1:]):
             if s1 < e0:
                 raise ValueError("manual override windows must not overlap")
         for s, e, _ in self.overrides:

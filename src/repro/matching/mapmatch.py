@@ -96,9 +96,10 @@ class MatchResult:
 def match_trace(
     trace: TraceArrays,
     net: RoadNetwork,
-    config: MatchConfig = MatchConfig(),
+    config: Optional[MatchConfig] = None,
 ) -> MatchResult:
     """Match every report of *trace* onto *net* (Fig. 5 rules)."""
+    config = MatchConfig() if config is None else config
     if config.require_gps_ok:
         trace = trace.subset(trace.gps_ok)
     n = len(trace)

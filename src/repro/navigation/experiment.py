@@ -127,7 +127,7 @@ def _od_pairs_by_distance(
 
 
 def run_navigation_experiment(
-    scenario: NavScenario = NavScenario(),
+    scenario: Optional[NavScenario] = None,
     *,
     provider: Optional[ScheduleProvider] = None,
     hop_distances: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
@@ -152,6 +152,7 @@ def run_navigation_experiment(
     strategy:
         ``"enumerate"`` (paper) or ``"dijkstra"`` (optimal extension).
     """
+    scenario = NavScenario() if scenario is None else scenario
     rng = as_rng(seed)
     net, signals = scenario.build(rng)
     sim = TripSimulator(net, signals, TravelConfig(scenario.speed_mps))

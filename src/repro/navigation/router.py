@@ -23,7 +23,7 @@ to the baseline).
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -94,7 +94,7 @@ class ZeroWaitProvider(ScheduleProvider):
 
 
 def shortest_drive_path(
-    net: RoadNetwork, src: int, dst: int, config: TravelConfig = TravelConfig()
+    net: RoadNetwork, src: int, dst: int, config: Optional[TravelConfig] = None
 ) -> List[int]:
     """Baseline: minimum-driving-time node path (Dijkstra on lengths)."""
     g = net.to_networkx()
@@ -137,7 +137,7 @@ class EnumerationRouter:
 
     net: RoadNetwork
     provider: ScheduleProvider
-    config: TravelConfig = TravelConfig()
+    config: TravelConfig = field(default_factory=TravelConfig)
     extra_hops: int = 2
 
     def candidate_paths(self, src: int, dst: int) -> Iterable[List[int]]:
@@ -166,7 +166,7 @@ def time_dependent_dijkstra(
     dst: int,
     depart_at: float,
     provider: ScheduleProvider,
-    config: TravelConfig = TravelConfig(),
+    config: Optional[TravelConfig] = None,
 ) -> List[int]:
     """Optimal light-aware path via time-dependent Dijkstra.
 
@@ -175,6 +175,7 @@ def time_dependent_dijkstra(
     arrival per node is the right label.  The destination's own light
     is not waited on, so edges into ``dst`` use pure driving time.
     """
+    config = TravelConfig() if config is None else config
     if src == dst:
         return [src]
     best: Dict[int, float] = {src: depart_at}

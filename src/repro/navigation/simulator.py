@@ -99,11 +99,11 @@ class TripSimulator:
         self,
         net: RoadNetwork,
         signals: Dict[int, IntersectionSignals],
-        config: TravelConfig = TravelConfig(),
+        config: Optional[TravelConfig] = None,
     ) -> None:
         self.net = net
         self.signals = signals
-        self.config = config
+        self.config = TravelConfig() if config is None else config
 
     def wait_at(self, segment: Segment, t: float) -> float:
         """Red wait for a vehicle reaching *segment*'s stop line at ``t``."""

@@ -9,6 +9,12 @@ See :class:`StageTelemetry` (per-light accumulator),
 """
 
 from .report import LightFailure, RunReport, format_light_key
-from .telemetry import StageTelemetry
+from .telemetry import StageTelemetry, SupportsCount
 
-__all__ = ["LightFailure", "RunReport", "StageTelemetry", "format_light_key"]
+__all__ = [
+    "LightFailure",
+    "RunReport",
+    "StageTelemetry",
+    "SupportsCount",
+    "format_light_key",
+]

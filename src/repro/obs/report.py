@@ -31,8 +31,10 @@ parallel efficiency of the run.
 from __future__ import annotations
 
 import json
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Union
 
 from .telemetry import StageTelemetry
 
@@ -143,6 +145,21 @@ class RunReport:
         """Close out one ``identify_many`` invocation of *wall_s* seconds."""
         self.runs += 1
         self.wall_s += float(wall_s)
+
+    @contextmanager
+    def run_timer(self) -> Iterator["RunReport"]:
+        """Time one fan-out invocation and fold it in via :meth:`finish_run`.
+
+        The clock read lives here — in the observability layer — so the
+        deterministic pipeline modules never touch the host clock
+        themselves (the REP004 invariant).  The run is recorded even
+        when the timed body raises.
+        """
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.finish_run(time.perf_counter() - t0)
 
     # -- views -------------------------------------------------------
 

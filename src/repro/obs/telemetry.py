@@ -18,9 +18,20 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Protocol
 
-__all__ = ["StageTelemetry"]
+__all__ = ["StageTelemetry", "SupportsCount"]
+
+
+class SupportsCount(Protocol):
+    """Anything accepting ``count(name, n)`` — the telemetry duck type.
+
+    ``repro.core`` functions take this instead of the concrete
+    :class:`StageTelemetry` so tests and callers can pass any counter
+    sink without importing the observability layer.
+    """
+
+    def count(self, name: str, n: int = 1) -> None: ...  # pragma: no cover
 
 
 @dataclass

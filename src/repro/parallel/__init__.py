@@ -1,5 +1,19 @@
 """Process-level parallel fan-out utilities."""
 
-from .pool import WorkerError, default_workers, get_common, pmap, pmap_seeded
+from .pool import (
+    WorkerError,
+    default_workers,
+    get_common,
+    pmap,
+    pmap_seeded,
+    run_guarded,
+)
 
-__all__ = ["WorkerError", "default_workers", "get_common", "pmap", "pmap_seeded"]
+__all__ = [
+    "WorkerError",
+    "default_workers",
+    "get_common",
+    "pmap",
+    "pmap_seeded",
+    "run_guarded",
+]

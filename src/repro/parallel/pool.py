@@ -30,9 +30,16 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .._util import seed_sequence_for
+from .._util import as_rng, seed_sequence_for
 
-__all__ = ["pmap", "pmap_seeded", "default_workers", "WorkerError", "get_common"]
+__all__ = [
+    "pmap",
+    "pmap_seeded",
+    "default_workers",
+    "WorkerError",
+    "get_common",
+    "run_guarded",
+]
 
 #: Accepted ``on_error`` policies.
 ON_ERROR = ("raise", "return")
@@ -126,15 +133,23 @@ def _check_on_error(on_error: str) -> None:
         raise ValueError(f"on_error must be one of {ON_ERROR}, got {on_error!r}")
 
 
-def _call_guarded(func: Callable, *args) -> Any:
-    """Run one item, converting any exception into a WorkerError.
+def run_guarded(func: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+    """Run ``func(*args, **kwargs)``, converting any exception into a
+    :class:`WorkerError`.
 
-    The index is filled in by the parent (position in the flattened
-    result list), so workers don't need to know their global offsets.
+    This is one of the two sanctioned containment seams (with the
+    per-light wrapper in :mod:`repro.core.pipeline`): code that must
+    survive arbitrary per-item failures routes the risky call through
+    here and branches on ``isinstance(result, WorkerError)`` instead of
+    writing its own catch-all handler — the REP002 invariant keeps
+    broad ``except`` out of everywhere else.
+
+    ``index`` is ``-1`` until the caller fills in the item's position
+    (``pmap`` does, via :func:`_fill_indices`).
     """
     try:
-        return func(*args)
-    except Exception as exc:
+        return func(*args, **kwargs)
+    except Exception as exc:  # repro: allow[REP002] - the containment seam itself
         return WorkerError(
             index=-1,
             error_type=type(exc).__name__,
@@ -152,7 +167,7 @@ def _fill_indices(results: List) -> List:
 
 def _apply_chunk(func: Callable, chunk: Sequence, on_error: str) -> List:
     if on_error == "return":
-        return [_call_guarded(func, item) for item in chunk]
+        return [run_guarded(func, item) for item in chunk]
     return [func(item) for item in chunk]
 
 
@@ -161,9 +176,9 @@ def _apply_chunk_seeded(
 ) -> List:
     out = []
     for index, item in chunk:
-        rng = np.random.default_rng(seed_sequence_for(base_seed, index))
+        rng = as_rng(seed_sequence_for(base_seed, index))
         if on_error == "return":
-            out.append(_call_guarded(func, item, rng))
+            out.append(run_guarded(func, item, rng))
         else:
             out.append(func(item, rng))
     return out

@@ -15,10 +15,11 @@ categories the paper's system targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .._util import as_rng
 from ..lights.intersection import (
     IntersectionSignals,
     SignalPlan,
@@ -166,10 +167,12 @@ class ShenzhenScenario:
 
     def simulation(
         self,
-        config: ApproachConfig = ApproachConfig(segment_length_m=APPROACH_LENGTH_M),
+        config: Optional[ApproachConfig] = None,
         hourly_profile=None,
     ) -> CitySimulation:
         """A ready-to-run city simulation over the scenario."""
+        if config is None:
+            config = ApproachConfig(segment_length_m=APPROACH_LENGTH_M)
         return CitySimulation(
             self.net,
             self.signals,
@@ -193,7 +196,7 @@ class ShenzhenScenario:
 
 def shenzhen_scenario(seed: int = 20160314) -> ShenzhenScenario:
     """Build the canonical Table II scenario (deterministic per seed)."""
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     frame = LocalFrame()
     net = _build_network(frame)
     plans = _signal_plans(rng)

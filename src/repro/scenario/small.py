@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .._util import as_rng
 from ..lights.intersection import (
     IntersectionSignals,
     SignalPlan,
@@ -62,7 +63,7 @@ def small_scenario(
     Every intersection runs the same (cycle, red) with staggered
     offsets, so tests know the exact ground truth of all eight lights.
     """
-    rng = np.random.default_rng(seed)
+    rng = as_rng(seed)
     net = grid_network(2, 2, spacing_m)
     plans = {
         node.id: [

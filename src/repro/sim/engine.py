@@ -112,7 +112,7 @@ class CitySimulation:
         net: RoadNetwork,
         signals: Dict[int, IntersectionSignals],
         rate_per_segment: Dict[int, float],
-        config: ApproachConfig = ApproachConfig(),
+        config: Optional[ApproachConfig] = None,
         config_per_segment: Optional[Dict[int, ApproachConfig]] = None,
         hourly_profile: Optional[Sequence[float]] = None,
     ) -> None:
@@ -122,7 +122,7 @@ class CitySimulation:
             sid: check_nonnegative(f"rate_per_segment[{sid}]", r)
             for sid, r in rate_per_segment.items()
         }
-        self.config = config
+        self.config = ApproachConfig() if config is None else config
         self.config_per_segment = dict(config_per_segment or {})
         self.hourly_profile = None if hourly_profile is None else np.asarray(hourly_profile, float)
         for sid in self.rate_per_segment:

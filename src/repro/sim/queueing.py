@@ -20,7 +20,7 @@ cross-intersection coupling is needed to exercise its pipeline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -59,7 +59,7 @@ class ApproachConfig:
     dwell_probability: float = 0.08
     dwell_duration_range_s: Tuple[float, float] = (15.0, 90.0)
     record_all_vehicles: bool = False
-    params: VehicleParams = VehicleParams()
+    params: VehicleParams = field(default_factory=VehicleParams)
 
     def __post_init__(self) -> None:
         check_positive("segment_length_m", self.segment_length_m)
@@ -117,12 +117,12 @@ class SignalizedApproachSim:
         self,
         controller: LightController,
         arrivals,
-        config: ApproachConfig = ApproachConfig(),
+        config: Optional[ApproachConfig] = None,
         segment_id: int = 0,
     ) -> None:
         self.controller = controller
         self.arrivals = arrivals
-        self.config = config
+        self.config = ApproachConfig() if config is None else config
         self.segment_id = segment_id
 
     # ------------------------------------------------------------------

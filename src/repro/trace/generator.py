@@ -9,7 +9,7 @@ on that grid, GPS noise is applied, and the result is emitted as
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -46,8 +46,8 @@ class TraceGenerator:
     """
 
     net: RoadNetwork
-    policy: ReportingPolicy = ReportingPolicy()
-    gps: GPSErrorModel = GPSErrorModel()
+    policy: ReportingPolicy = field(default_factory=ReportingPolicy)
+    gps: GPSErrorModel = field(default_factory=GPSErrorModel)
     heading_noise_sd_deg: float = 4.0
 
     # ------------------------------------------------------------------

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from .._util import RngLike, as_rng, check_in_range, check_nonnegative
 
@@ -48,7 +49,7 @@ class GPSErrorModel:
         check_in_range("unavailable_prob", self.unavailable_prob, 0.0, 1.0)
 
     def apply(
-        self, x, y, rng: RngLike = None
+        self, x: npt.ArrayLike, y: npt.ArrayLike, rng: RngLike = None
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Noise up true local coordinates.
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = ["TaxiRecord", "TraceArrays", "plate_of", "sim_card_of", "BODY_COLORS"]
 
@@ -77,16 +78,16 @@ class TraceArrays:
 
     def __init__(
         self,
-        taxi_id,
-        t,
-        lon,
-        lat,
-        speed_kmh,
-        heading_deg=None,
-        device_id=None,
-        gps_ok=None,
-        overspeed=None,
-        passenger=None,
+        taxi_id: npt.ArrayLike,
+        t: npt.ArrayLike,
+        lon: npt.ArrayLike,
+        lat: npt.ArrayLike,
+        speed_kmh: npt.ArrayLike,
+        heading_deg: Optional[npt.ArrayLike] = None,
+        device_id: Optional[npt.ArrayLike] = None,
+        gps_ok: Optional[npt.ArrayLike] = None,
+        overspeed: Optional[npt.ArrayLike] = None,
+        passenger: Optional[npt.ArrayLike] = None,
     ) -> None:
         self.taxi_id = np.asarray(taxi_id, dtype=np.int64)
         n = self.taxi_id.shape[0]
@@ -125,7 +126,7 @@ class TraceArrays:
     def __len__(self) -> int:
         return int(self.taxi_id.shape[0])
 
-    def subset(self, index) -> "TraceArrays":
+    def subset(self, index: np.ndarray) -> "TraceArrays":
         """New :class:`TraceArrays` selected by mask or fancy index."""
         return TraceArrays(**{name: getattr(self, name)[index] for name in self.COLUMNS})
 

@@ -30,11 +30,26 @@ Extraction semantics are bit-identical to the per-partition code paths
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
+from ..parallel.pool import run_guarded
 from .records import TraceArrays
+
+if TYPE_CHECKING:  # import cycle: matching/core import the store lazily
+    from ..core.stops import StopEvents
+    from ..matching.partition import LightPartition
 
 __all__ = ["PartitionStore"]
 
@@ -116,7 +131,10 @@ class PartitionStore:
     # ------------------------------------------------------------------
     @classmethod
     def from_partitions(
-        cls, partitions, *, mmap_dir: Optional[str] = None
+        cls,
+        partitions: "Mapping[LightKey, LightPartition]",
+        *,
+        mmap_dir: Optional[str] = None,
     ) -> "PartitionStore":
         """Flatten a partition mapping into one columnar store.
 
@@ -180,7 +198,7 @@ class PartitionStore:
             }
         return self._columns
 
-    def __getstate__(self):
+    def __getstate__(self) -> Dict[str, Any]:
         state = {
             "keys": self._regular_keys,
             "offsets": self._offsets,
@@ -191,7 +209,7 @@ class PartitionStore:
         }
         return state
 
-    def __setstate__(self, state) -> None:
+    def __setstate__(self, state: Dict[str, Any]) -> None:
         self._regular_keys = state["keys"]
         self._offsets = state["offsets"]
         self._irregular = state["irregular"]
@@ -208,16 +226,18 @@ class PartitionStore:
     def __iter__(self) -> Iterator[LightKey]:
         return iter(self._keys)
 
-    def __contains__(self, key) -> bool:
+    def __contains__(self, key: object) -> bool:
         return key in self._index or key in self._irregular
 
     def keys(self) -> List[LightKey]:
         return list(self._keys)
 
-    def __getitem__(self, key: LightKey):
+    def __getitem__(self, key: LightKey) -> "LightPartition":
         return self.partition(key)
 
-    def get(self, key: LightKey, default=None):
+    def get(
+        self, key: LightKey, default: Optional["LightPartition"] = None
+    ) -> Optional["LightPartition"]:
         return self.partition(key) if key in self else default
 
     def is_regular(self, key: LightKey) -> bool:
@@ -236,7 +256,7 @@ class PartitionStore:
         i = self._index[key]
         return int(self._offsets[i]), int(self._offsets[i + 1])
 
-    def partition(self, key: LightKey):
+    def partition(self, key: LightKey) -> "LightPartition":
         """The light's :class:`LightPartition`, as zero-copy slices."""
         if key in self._irregular:
             return self._irregular[key]
@@ -290,7 +310,7 @@ class PartitionStore:
         keep = (t >= t0) & (t < t1) & (dist <= max_dist_m)
         return t[keep], v[keep]
 
-    def stops(self, key: LightKey):
+    def stops(self, key: LightKey) -> "StopEvents":
         """The light's stop events, extracted once per store lifetime."""
         events = self._stops.get(key)
         if events is None:
@@ -318,18 +338,26 @@ class PartitionStore:
         )
 
 
-def _is_regular(partition) -> bool:
-    """All per-record columns agree on one length."""
-    try:
-        n = len(partition.trace)
-        cols = [getattr(partition.trace, name) for name in TraceArrays.COLUMNS]
-        cols += [
-            np.asarray(partition.segment_id),
-            np.asarray(partition.dist_to_stopline_m),
-        ]
-        return all(c.ndim == 1 and c.shape[0] == n for c in cols)
-    except Exception:
-        return False
+def _probe_regular(partition: "LightPartition") -> bool:
+    """All per-record columns agree on one length (may raise on garbage)."""
+    n = len(partition.trace)
+    cols = [getattr(partition.trace, name) for name in TraceArrays.COLUMNS]
+    cols += [
+        np.asarray(partition.segment_id),
+        np.asarray(partition.dist_to_stopline_m),
+    ]
+    return all(c.ndim == 1 and c.shape[0] == n for c in cols)
+
+
+def _is_regular(partition: "LightPartition") -> bool:
+    """True when the partition can be stored columnar.
+
+    Probing arbitrary partition-like objects can raise anything, so the
+    probe runs through the sanctioned containment seam
+    (:func:`repro.parallel.pool.run_guarded`); a partition whose probe
+    fails is quarantined onto the serial path rather than trusted.
+    """
+    return run_guarded(_probe_regular, partition) is True
 
 
 def _concat(parts: List[np.ndarray]) -> np.ndarray:

@@ -103,7 +103,7 @@ class TestDftSquareWaveRecovery:
         ks = rng.integers(6, 46, size=40)  # cycle = 1800/k in [40, 300] s
         cycles_true = n / ks
         sigs = np.empty((40, n))
-        for i, (k, cyc) in enumerate(zip(ks, cycles_true)):
+        for i, (_k, cyc) in enumerate(zip(ks, cycles_true)):
             phase = rng.uniform(0.0, cyc)
             red_frac = rng.uniform(0.3, 0.6)
             in_red = np.mod(tt + phase, cyc) < red_frac * cyc

@@ -81,7 +81,7 @@ class TestDetectPlanChanges:
         assert detect_plan_changes(series([np.nan, np.nan])) == []
 
 
-class TestMonitorCycle(object):
+class TestMonitorCycle:
     def test_monitor_on_real_partition(self, partitions, city):
         key = next(iter(sorted(partitions)))
         p = partitions[key]

@@ -1,0 +1,165 @@
+"""PartitionStore unit tests: the quarantine path and per-light caches.
+
+The parity suite (``test_batch_parity``) exercises the store through
+the identification backends; these tests pin the store's own contract —
+that probing never raises, that quarantined objects round-trip
+untouched, and that the per-light derived products (partition views,
+stop events, mean intervals) are computed exactly once per store
+lifetime.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.trace.store import PartitionStore, _is_regular, _probe_regular
+
+from tests.test_faults import synth_partition
+
+
+class _Explosive:
+    """A partition-like object whose every attribute access raises.
+
+    Probing arbitrary objects must never sink store construction; this
+    is the worst case the ``run_guarded`` seam has to absorb.
+    """
+
+    key = (999, "NS")
+
+    @property
+    def trace(self):
+        raise RuntimeError("boom")
+
+
+@pytest.fixture
+def small_city():
+    a = synth_partition(seed=1, iid=10)
+    b = synth_partition(seed=2, iid=11)
+    return {a.key: a, b.key: b}
+
+
+# ----------------------------------------------------------------------
+# Quarantine
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def test_probe_accepts_healthy_partition(self, small_city):
+        part = next(iter(small_city.values()))
+        assert _probe_regular(part) is True
+
+    def test_probe_rejects_inconsistent_columns(self, small_city):
+        from repro.matching.partition import LightPartition
+
+        p = next(iter(small_city.values()))
+        bad = LightPartition(
+            p.intersection_id, p.approach, p.trace, p.segment_id, np.empty(3)
+        )
+        assert _probe_regular(bad) is False
+
+    def test_is_regular_contains_probe_crash(self):
+        # _probe_regular raises on this object; _is_regular must not.
+        assert _is_regular(_Explosive()) is False
+
+    def test_exploding_object_is_quarantined_not_fatal(self, small_city):
+        boom = _Explosive()
+        city = dict(small_city)
+        city[boom.key] = boom
+        store = PartitionStore.from_partitions(city)
+        assert not store.is_regular(boom.key)
+        assert boom.key in store
+        # comes back by identity: the store never re-packs quarantined objects
+        assert store.partition(boom.key) is boom
+        assert sorted(store) == sorted(city)
+
+    def test_quarantined_rows_excluded_from_columns(self, small_city):
+        boom = _Explosive()
+        city = dict(small_city)
+        city[boom.key] = boom
+        store = PartitionStore.from_partitions(city)
+        assert store.n_records == sum(len(p.trace) for p in small_city.values())
+
+    def test_quarantined_objects_survive_pickling(self, small_city):
+        from repro.matching.partition import LightPartition
+
+        p = next(iter(small_city.values()))
+        bad = LightPartition(
+            p.intersection_id, p.approach, p.trace, p.segment_id, np.empty(3)
+        )
+        city = dict(small_city)
+        bad_key = (998, "EW")
+        city[bad_key] = bad
+        store = PartitionStore.from_partitions(city)
+        clone = pickle.loads(pickle.dumps(store))
+        assert not clone.is_regular(bad_key)
+        np.testing.assert_array_equal(
+            clone.partition(bad_key).dist_to_stopline_m,
+            bad.dist_to_stopline_m,
+        )
+
+    def test_get_returns_default_for_missing_key(self, small_city):
+        store = PartitionStore.from_partitions(small_city)
+        assert store.get((12345, "NS")) is None
+        sentinel = object()
+        assert store.get((12345, "NS"), sentinel) is sentinel
+
+
+# ----------------------------------------------------------------------
+# Per-light cache reuse
+# ----------------------------------------------------------------------
+class TestCacheReuse:
+    def test_partition_view_is_cached(self, small_city):
+        store = PartitionStore.from_partitions(small_city)
+        key = sorted(store)[0]
+        assert store.partition(key) is store.partition(key)
+
+    def test_stops_extracted_once_per_light(self, small_city, monkeypatch):
+        import repro.core.stops as stops_mod
+
+        calls = []
+        real = stops_mod.extract_stops
+
+        def counting(partition, *args, **kwargs):
+            calls.append(partition)
+            return real(partition, *args, **kwargs)
+
+        monkeypatch.setattr(stops_mod, "extract_stops", counting)
+        store = PartitionStore.from_partitions(small_city)
+        key = sorted(store)[0]
+        first = store.stops(key)
+        second = store.stops(key)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_mean_interval_measured_once_per_light(self, small_city, monkeypatch):
+        import repro.core.pipeline as pipeline_mod
+
+        calls = []
+        real = pipeline_mod.measured_mean_interval
+
+        def counting(partition, default_s):
+            calls.append(partition)
+            return real(partition, default_s)
+
+        monkeypatch.setattr(pipeline_mod, "measured_mean_interval", counting)
+        store = PartitionStore.from_partitions(small_city)
+        key = sorted(store)[0]
+        first = store.mean_interval(key)
+        second = store.mean_interval(key)
+        assert first == second
+        assert len(calls) == 1
+
+    def test_caches_are_per_light_not_global(self, small_city):
+        store = PartitionStore.from_partitions(small_city)
+        k0, k1 = sorted(store)[:2]
+        assert store.stops(k0) is not store.stops(k1)
+        assert store.partition(k0) is not store.partition(k1)
+
+    def test_cached_views_match_originals(self, small_city):
+        store = PartitionStore.from_partitions(small_city)
+        for key, p in small_city.items():
+            q = store.partition(key)
+            np.testing.assert_array_equal(q.trace.t, p.trace.t)
+            np.testing.assert_array_equal(q.trace.speed_kmh, p.trace.speed_kmh)
+            np.testing.assert_array_equal(q.segment_id, p.segment_id)

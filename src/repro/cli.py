@@ -11,6 +11,9 @@ Four subcommands cover the pipeline end-to-end without writing Python:
   several time spots and print the error statistics vs ground truth;
 * ``repro monitor`` — §VII continuous cycle monitoring of one light,
   with outlier repair and plan-change detection;
+* ``repro stream`` — replay a trace chunk-by-chunk through the
+  incremental backend, printing per-chunk dirty/refresh accounting and
+  online plan-change detections;
 * ``repro navigate`` — run the Fig. 16 navigation comparison.
 
 Example session::
@@ -60,11 +63,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="analysis window length, seconds")
     ident.add_argument("--serial", action="store_true",
                        help="disable the process pool")
-    ident.add_argument("--backend", choices=("serial", "process", "batched"),
+    ident.add_argument("--backend",
+                       choices=("serial", "process", "batched", "stream"),
                        default=None,
                        help="execution backend (overrides --serial); "
                             "'batched' runs the whole city through shared "
-                            "vectorized kernels")
+                            "vectorized kernels, 'stream' goes through the "
+                            "incremental subsystem (one-shot here; see "
+                            "`repro stream` for chunked replay)")
     ident.add_argument("--report", metavar="PATH", default=None,
                        help="write the RunReport JSON (stage wall times, "
                             "counters, failure taxonomy) to PATH")
@@ -75,7 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("--times", type=float, nargs="+", required=True,
                     help="identification time spots (simulation seconds)")
     ev.add_argument("--serial", action="store_true")
-    ev.add_argument("--backend", choices=("serial", "process", "batched"),
+    ev.add_argument("--backend",
+                    choices=("serial", "process", "batched", "stream"),
                     default=None,
                     help="execution backend (overrides --serial)")
     ev.add_argument("--report", metavar="PATH", default=None,
@@ -88,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="intersection:approach, e.g. 0:NS")
     mon.add_argument("--every", type=float, default=300.0)
     mon.add_argument("--window", type=float, default=1800.0)
+
+    strm = sub.add_parser(
+        "stream", help="replay a trace through the incremental backend"
+    )
+    strm.add_argument("--city", required=True,
+                      help="prefix written by `repro simulate`")
+    strm.add_argument("--chunk", type=float, default=300.0,
+                      help="replay chunk length, seconds")
+    strm.add_argument("--window", type=float, default=1800.0,
+                      help="analysis window length, seconds")
+    strm.add_argument("--report", metavar="PATH", default=None,
+                      help="write the RunReport JSON (incl. per-chunk "
+                           "ingest stats) to PATH")
 
     nav = sub.add_parser("navigate", help="Fig. 16 navigation comparison")
     nav.add_argument("--cols", type=int, default=6)
@@ -272,6 +292,64 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    from .core import PipelineConfig
+    from .lights.intersection import attach_signals_to_network
+    from .matching import match_trace, partition_by_light
+    from .network.serialization import load_network
+    from .obs import RunReport
+    from .stream import StreamSession, split_by_time
+    from .trace import read_trace
+
+    with open(f"{args.city}.net.json", encoding="utf-8") as fp:
+        net, plans = load_network(fp)
+    with open(f"{args.city}.trace.txt", encoding="utf-8") as fp:
+        trace = read_trace(fp)
+    partitions = partition_by_light(match_trace(trace, net), net)
+    if not partitions:
+        print("error: the trace matched no signalized lights")
+        return 2
+    t0 = min(float(p.trace.t.min()) for p in partitions.values())
+    t1 = max(float(p.trace.t.max()) for p in partitions.values())
+    edges = list(np.arange(t0, t1, args.chunk)) + [t1 + 1e-9]
+    print(f"replaying {len(trace):,} records over {len(partitions)} lights "
+          f"in {len(edges) - 1} chunks of {args.chunk:g}s")
+
+    report = RunReport() if args.report else None
+    session = StreamSession(
+        config=PipelineConfig(window_s=args.window), report=report
+    )
+    for chunk in split_by_time(partitions, edges):
+        update = session.ingest(chunk)
+        print(f"chunk {update.chunk_index:>3}  t={update.at_time:8.0f}s  "
+              f"+{update.n_records:>6,} records  "
+              f"touched {len(update.touched):>3}  "
+              f"dirty {len(update.dirty):>3}  "
+              f"estimates {len(update.estimates):>3}")
+        for key, changes in sorted(update.plan_changes.items()):
+            for ch in changes:
+                print(f"    plan change {key}: t={ch.at_time:.0f}s "
+                      f"{ch.old_cycle_s:.0f}s -> {ch.new_cycle_s:.0f}s")
+
+    estimates, failures = session.evaluate(t1)
+    signals = attach_signals_to_network(net, plans) if plans else None
+    print(f"\nfinal estimates at t={t1:.0f}s "
+          f"({len(estimates)} ok, {len(failures)} failed):")
+    for key in sorted(estimates):
+        est = estimates[key]
+        line = (f"{str(key):<12} cycle {est.cycle_s:6.1f}s  "
+                f"red {est.red_s:5.1f}s")
+        if signals:
+            gt = signals[key[0]].schedule_at(key[1], t1)
+            line += f"   (true cycle {gt.cycle_s:.1f}s)"
+        print(line)
+    if report is not None:
+        report.save(args.report)
+        print(f"\nwrote run report to {args.report}")
+        print(report.summary())
+    return 0
+
+
 def _cmd_navigate(args) -> int:
     from .navigation import NavScenario, run_navigation_experiment
 
@@ -300,6 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "identify": _cmd_identify,
         "evaluate": _cmd_evaluate,
         "monitor": _cmd_monitor,
+        "stream": _cmd_stream,
         "navigate": _cmd_navigate,
     }
     return handlers[args.command](args)

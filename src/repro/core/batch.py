@@ -518,6 +518,7 @@ def identify_batch(
     at_time: float,
     *,
     config: Optional[PipelineConfig] = None,
+    keys: Optional[Sequence[LightKey]] = None,
 ) -> Tuple[
     Dict[LightKey, ScheduleEstimate],
     Dict[LightKey, LightFailure],
@@ -533,11 +534,17 @@ def identify_batch(
     the batched path cannot carry (irregular columns, degenerate grid,
     kernel edge case) is re-run through the serial containment path
     rather than aborting the batch.
+
+    ``keys`` restricts the run to a subset of lights (the streaming
+    backend re-runs only dirty lights).  Perpendicular-enhancement
+    lookups still consult the full store, and every kernel is row-wise
+    exact, so each light's estimate is bit-identical whether it runs in
+    a subset or in the full city.
     """
     cfg = PipelineConfig() if config is None else config
     store = PartitionStore.from_partitions(store)
     ccfg = cfg.cycle
-    keys = sorted(store)
+    keys = sorted(store) if keys is None else sorted(keys)
     other = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
     anchor = at_time - cfg.window_s
     phase_anchor = at_time - cfg.phase_window_s

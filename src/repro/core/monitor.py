@@ -57,6 +57,37 @@ class MonitorSeries:
         """Share of windows that produced an estimate."""
         return float(np.mean(~np.isnan(self.cycle_s))) if len(self) else float("nan")
 
+    @classmethod
+    def from_samples(
+        cls,
+        t: Sequence[float],
+        cycle_s: Sequence[float],
+        quality: Sequence[float],
+        *,
+        n_errors: int = 0,
+    ) -> "MonitorSeries":
+        """Build a series from accumulated ``(t, cycle, quality)`` samples.
+
+        The online monitor (:mod:`repro.stream`) appends one sample per
+        ingest refresh instead of sweeping a fixed grid like
+        :func:`monitor_cycle`; this constructor time-sorts those samples
+        into the columnar form :func:`repair_outliers` /
+        :func:`detect_plan_changes` consume.  A failed refresh should be
+        recorded as a NaN cycle so gaps stay visible.
+        """
+        ta = np.asarray(t, dtype=float)
+        ca = np.asarray(cycle_s, dtype=float)
+        qa = np.asarray(quality, dtype=float)
+        if not (ta.shape == ca.shape == qa.shape) or ta.ndim != 1:
+            raise ValueError(
+                f"t/cycle_s/quality must be equal-length 1-D, got shapes "
+                f"{ta.shape}/{ca.shape}/{qa.shape}"
+            )
+        order = np.argsort(ta, kind="stable")
+        return cls(
+            t=ta[order], cycle_s=ca[order], quality=qa[order], n_errors=n_errors
+        )
+
 
 @dataclass(frozen=True)
 class PlanChange:

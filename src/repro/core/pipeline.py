@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 #: Execution backends accepted by :func:`identify_many`.
-BACKENDS = ("serial", "process", "batched")
+BACKENDS = ("serial", "process", "batched", "stream")
 
 #: Floor for the red-duration estimate: one ``cycle_profile`` bin
 #: (``bin_s=1.0``).  The border-interval estimator can return ~0 on
@@ -372,7 +372,12 @@ def identify_many(
     * ``"batched"`` — :func:`repro.core.batch.identify_batch`: the
       whole city runs through shared vectorized kernels (one FFT, one
       fold-and-scan, one moving-average pass), bit-for-bit equal to the
-      serial backend, with per-light serial fallback on any failure.
+      serial backend, with per-light serial fallback on any failure;
+    * ``"stream"`` — a one-shot :class:`repro.stream.StreamSession`
+      (ingest everything as a single chunk, then evaluate).  Matches
+      the batched backend bit-for-bit; its point is the incremental
+      API — hold a session yourself to feed chunks and re-evaluate
+      only dirty lights.
 
     ``partitions`` may be a plain dict or a ``PartitionStore``; passing
     the same store across repeated calls (one per time spot) reuses its
@@ -427,6 +432,19 @@ def _identify_many_run(
             for key in sorted(tels):
                 report.record_light(key, tels[key], failures.get(key))
         return estimates, failures
+
+    if chosen == "stream":
+        # One-shot seam over the incremental subsystem: everything
+        # ingests as a single chunk, then one evaluation runs.  Session
+        # telemetry (per-light and per-chunk) folds into `report`.
+        from ..stream.session import StreamSession
+
+        src = store if store is not None else partitions
+        session = StreamSession(config=config, report=report, monitor=False)
+        session.ingest(
+            {key: src[key] for key in sorted(src)}, refresh=False
+        )
+        return session.evaluate(at_time)
 
     shared = store
     if shared is None and isinstance(partitions, PartitionStore):

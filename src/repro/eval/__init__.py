@@ -7,6 +7,7 @@ from .harness import (
     EvalResult,
     EvalSample,
     evaluate_at_times,
+    evaluate_replay,
     simulate_and_partition,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "EvalResult",
     "EvalSample",
     "evaluate_at_times",
+    "evaluate_replay",
     "simulate_and_partition",
 ]

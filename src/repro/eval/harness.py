@@ -28,7 +28,13 @@ from ..trace.generator import TraceGenerator
 from ..trace.records import TraceArrays
 from .errors import ScheduleErrors, compare
 
-__all__ = ["EvalSample", "EvalResult", "simulate_and_partition", "evaluate_at_times"]
+__all__ = [
+    "EvalSample",
+    "EvalResult",
+    "simulate_and_partition",
+    "evaluate_at_times",
+    "evaluate_replay",
+]
 
 #: Ground-truth lookup: (intersection_id, approach, time) → LightSchedule.
 TruthFn = Callable[[int, str, float], LightSchedule]
@@ -177,7 +183,7 @@ def evaluate_at_times(
 
     Per-light identification already fans out inside
     :func:`repro.core.pipeline.identify_many` (``backend`` selects
-    serial, process-pool, or batched execution); time spots run
+    serial, process-pool, batched, or stream execution); time spots run
     serially so the per-run column store / process pool is reused
     efficiently.  The partitions are packed into a
     :class:`~repro.trace.store.PartitionStore` **once** and shared
@@ -218,6 +224,54 @@ def evaluate_at_times(
                         estimate=None,
                         errors=None,
                         failure=failures.get(key),
+                    )
+                )
+    return EvalResult(samples)
+
+
+def evaluate_replay(
+    partitions: Dict[LightKey, LightPartition],
+    truth_fn: TruthFn,
+    edges: Sequence[float],
+    *,
+    config: Optional[PipelineConfig] = None,
+    report: Optional[RunReport] = None,
+) -> EvalResult:
+    """Replay a recorded scenario chunk-by-chunk through a stream session.
+
+    The partitions are sliced at the time ``edges`` and ingested in
+    order into a :class:`~repro.stream.StreamSession`; after each chunk
+    the session refreshes only the dirty lights and every light's
+    current estimate is scored against the truth at the chunk's end —
+    the streaming analogue of :func:`evaluate_at_times`, exercising the
+    incremental path end to end (Fig. 13/14 numbers, but maintained
+    online).  Per-chunk :class:`~repro.obs.report.ChunkStats` fold into
+    ``report``.
+    """
+    from ..stream.chunking import split_by_time
+    from ..stream.session import StreamSession
+
+    session = StreamSession(config=config, report=report)
+    samples: List[EvalSample] = []
+    for chunk, hi in zip(split_by_time(partitions, edges), edges[1:]):
+        at_time = float(hi)
+        update = session.ingest(chunk, at_time=at_time)
+        for key in sorted(session.store):
+            iid, approach = key
+            est = update.estimates.get(key)
+            if est is not None:
+                truth = truth_fn(iid, approach, at_time)
+                samples.append(
+                    EvalSample(
+                        key=key, at_time=at_time,
+                        estimate=est, errors=compare(est, truth),
+                    )
+                )
+            else:
+                samples.append(
+                    EvalSample(
+                        key=key, at_time=at_time, estimate=None, errors=None,
+                        failure=update.failures.get(key),
                     )
                 )
     return EvalResult(samples)

@@ -8,10 +8,11 @@ See :class:`StageTelemetry` (per-light accumulator),
 :class:`RunReport` (aggregated, JSON-exportable run record).
 """
 
-from .report import LightFailure, RunReport, format_light_key
+from .report import ChunkStats, LightFailure, RunReport, format_light_key
 from .telemetry import StageTelemetry, SupportsCount
 
 __all__ = [
+    "ChunkStats",
     "LightFailure",
     "RunReport",
     "StageTelemetry",

@@ -34,11 +34,11 @@ import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Union
 
 from .telemetry import StageTelemetry
 
-__all__ = ["LightFailure", "RunReport", "format_light_key"]
+__all__ = ["ChunkStats", "LightFailure", "RunReport", "format_light_key"]
 
 
 def format_light_key(key: Any) -> str:
@@ -105,6 +105,56 @@ class LightFailure:
         )
 
 
+@dataclass(frozen=True)
+class ChunkStats:
+    """Observability record of one streaming ingest step.
+
+    Attributes
+    ----------
+    chunk_index:
+        0-based position in the ingest sequence.
+    n_records:
+        Records the chunk carried (summed over lights).
+    n_touched:
+        Lights that received records.
+    n_dirty:
+        Lights whose caches were invalidated (touched lights plus their
+        enhancement-coupled perpendicular partners).
+    n_refreshed:
+        Lights actually re-identified during this ingest.
+    wall_s:
+        Ingest wall time, seconds.
+    """
+
+    chunk_index: int
+    n_records: int
+    n_touched: int
+    n_dirty: int
+    n_refreshed: int
+    wall_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "chunk_index": self.chunk_index,
+            "n_records": self.n_records,
+            "n_touched": self.n_touched,
+            "n_dirty": self.n_dirty,
+            "n_refreshed": self.n_refreshed,
+            "wall_s": self.wall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ChunkStats":
+        return cls(
+            chunk_index=int(d["chunk_index"]),
+            n_records=int(d["n_records"]),
+            n_touched=int(d["n_touched"]),
+            n_dirty=int(d["n_dirty"]),
+            n_refreshed=int(d["n_refreshed"]),
+            wall_s=float(d["wall_s"]),
+        )
+
+
 @dataclass
 class RunReport:
     """Aggregated observability record of one (or many) fan-out runs.
@@ -122,8 +172,13 @@ class RunReport:
     wall_s: float = 0.0
     telemetry: StageTelemetry = field(default_factory=StageTelemetry)
     failures: Dict[str, LightFailure] = field(default_factory=dict)
+    chunks: List[ChunkStats] = field(default_factory=list)
 
     # -- aggregation -------------------------------------------------
+
+    def record_chunk(self, stats: ChunkStats) -> None:
+        """Fold one streaming ingest step's :class:`ChunkStats` in."""
+        self.chunks.append(stats)
 
     def record_light(
         self,
@@ -221,6 +276,13 @@ class RunReport:
                 key: f.to_dict() for key, f in sorted(self.failures.items())
             },
             "failure_taxonomy": self.failure_taxonomy(),
+            # Optional section: present only for streaming-backend runs,
+            # so one-shot reports keep the exact v1 document shape.
+            **(
+                {"chunks": [c.to_dict() for c in self.chunks]}
+                if self.chunks
+                else {}
+            ),
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -251,6 +313,7 @@ class RunReport:
                 key: LightFailure.from_dict(f)
                 for key, f in d.get("failures", {}).items()
             },
+            chunks=[ChunkStats.from_dict(c) for c in d.get("chunks", [])],
         )
 
     @classmethod

@@ -2,6 +2,7 @@
 
 from .shenzhen import TABLE2, ShenzhenScenario, Table2Row, shenzhen_scenario
 from .small import SmallScenario, small_scenario
+from .synthetic import SyntheticLight, synthetic_lights, synthetic_partitions
 
 __all__ = [
     "TABLE2",
@@ -10,4 +11,7 @@ __all__ = [
     "shenzhen_scenario",
     "SmallScenario",
     "small_scenario",
+    "SyntheticLight",
+    "synthetic_lights",
+    "synthetic_partitions",
 ]

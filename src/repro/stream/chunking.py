@@ -1,0 +1,82 @@
+"""Replay helpers: turn a partition mapping into ingestable chunks.
+
+These are the test harness's levers for the replay-parity oracle: the
+same scenario sliced by time, sliced at random, and row-permuted must
+all converge to the same streamed state.  They are also what the CLI's
+``repro stream`` subcommand uses to replay a simulated trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from .._util import RngLike, as_rng
+from ..matching.partition import LightKey, LightPartition
+
+__all__ = ["subset_partition", "split_by_time", "split_random"]
+
+
+def subset_partition(part: LightPartition, rows: np.ndarray) -> LightPartition:
+    """A partition restricted to ``rows`` (mask or fancy index)."""
+    return LightPartition(
+        intersection_id=part.intersection_id,
+        approach=part.approach,
+        trace=part.trace.subset(rows),
+        segment_id=np.asarray(part.segment_id)[rows],
+        dist_to_stopline_m=np.asarray(part.dist_to_stopline_m)[rows],
+    )
+
+
+def split_by_time(
+    partitions: Mapping[LightKey, LightPartition],
+    edges: Sequence[float],
+) -> List[Dict[LightKey, LightPartition]]:
+    """Slice every partition into ``[edges[i], edges[i+1])`` chunks.
+
+    The natural replay of a recorded trace: chunk *i* holds every
+    light's records from that time slice (lights with none are left out
+    of the chunk, so their caches survive the ingest).
+    """
+    if len(edges) < 2:
+        raise ValueError("edges must hold at least two boundaries")
+    chunks: List[Dict[LightKey, LightPartition]] = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        chunk: Dict[LightKey, LightPartition] = {}
+        for key, part in partitions.items():
+            piece = part.time_window(float(lo), float(hi))
+            if len(piece):
+                chunk[key] = piece
+        chunks.append(chunk)
+    return chunks
+
+
+def split_random(
+    partitions: Mapping[LightKey, LightPartition],
+    n_chunks: int,
+    *,
+    rng: RngLike = None,
+) -> List[Dict[LightKey, LightPartition]]:
+    """Scatter records uniformly over ``n_chunks``, rows shuffled.
+
+    The adversarial replay: every record lands in a random chunk and
+    each chunk's rows arrive in random order.  Because the store
+    re-sorts appended lights into the canonical ``(t, taxi_id)`` order,
+    the streamed state must still converge bit-for-bit to the one-shot
+    build — the metamorphic property ``tests/test_stream_parity.py``
+    drives through many seeded draws.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    gen = as_rng(rng)
+    chunks: List[Dict[LightKey, LightPartition]] = [{} for _ in range(n_chunks)]
+    for key, part in partitions.items():
+        assign = gen.integers(0, n_chunks, size=len(part.trace))
+        for c in range(n_chunks):
+            rows = np.flatnonzero(assign == c)
+            if rows.size == 0:
+                continue
+            rows = gen.permutation(rows)
+            chunks[c][key] = subset_partition(part, rows)
+    return chunks

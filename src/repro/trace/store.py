@@ -32,19 +32,22 @@ from __future__ import annotations
 import os
 from typing import (
     TYPE_CHECKING,
+    AbstractSet,
     Any,
     Dict,
+    FrozenSet,
     Iterator,
     List,
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
 import numpy as np
 
-from ..parallel.pool import run_guarded
+from ..parallel.pool import WorkerError, run_guarded
 from .records import TraceArrays
 
 if TYPE_CHECKING:  # import cycle: matching/core import the store lazily
@@ -104,6 +107,20 @@ class PartitionStore:
         self._init_derived()
 
     def _init_derived(self) -> None:
+        self._refresh_keys()
+        self._partitions: Dict[LightKey, Any] = {}
+        self._stops: Dict[LightKey, Any] = {}
+        self._intervals: Dict[LightKey, float] = {}
+        #: Open memo for per-(light, window) intermediates — the batched
+        #: backend parks regularized grids and enhanced sample windows
+        #: here so repeated ``evaluate_at_times`` spots reuse them.
+        #: Convention: memo keys are tuples whose element ``[1]`` is the
+        #: owning :data:`LightKey` — :meth:`invalidate_light` relies on
+        #: it to purge one light's entries without touching the rest.
+        self.cache: Dict[Any, Any] = {}
+
+    def _refresh_keys(self) -> None:
+        """Rebuild the key/index/sortedness views after a column change."""
         self._keys: List[LightKey] = sorted(
             list(self._regular_keys) + list(self._irregular)
         )
@@ -118,13 +135,6 @@ class PartitionStore:
             ],
             dtype=bool,
         )
-        self._partitions: Dict[LightKey, Any] = {}
-        self._stops: Dict[LightKey, Any] = {}
-        self._intervals: Dict[LightKey, float] = {}
-        #: Open memo for per-(light, window) intermediates — the batched
-        #: backend parks regularized grids and enhanced sample windows
-        #: here so repeated ``evaluate_at_times`` spots reuse them.
-        self.cache: Dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # Construction / persistence
@@ -156,21 +166,129 @@ class PartitionStore:
         offsets = np.zeros(len(keys) + 1, dtype=np.int64)
         for i, key in enumerate(keys):
             offsets[i + 1] = offsets[i] + len(partitions[key])
-        columns: Dict[str, np.ndarray] = {}
-        for name in TraceArrays.COLUMNS:
-            columns[name] = _concat(
-                [getattr(partitions[key].trace, name) for key in keys]
-            )
-        columns["segment_id"] = _concat(
-            [np.asarray(partitions[key].segment_id) for key in keys]
-        )
-        columns["dist_to_stopline_m"] = _concat(
-            [np.asarray(partitions[key].dist_to_stopline_m, dtype=float) for key in keys]
-        )
+        per_key = [_partition_columns(partitions[key]) for key in keys]
+        columns: Dict[str, np.ndarray] = {
+            name: _concat([cols[name] for cols in per_key]) for name in _ALL_COLUMNS
+        }
         store = cls(keys, offsets, columns, irregular=irregular)
         if mmap_dir is not None:
             store.spill_to(mmap_dir)
         return store
+
+    def append_partitions(
+        self, chunk: "Mapping[LightKey, LightPartition]"
+    ) -> FrozenSet[LightKey]:
+        """Append a chunk of per-light records **in place**.
+
+        ``chunk`` maps :data:`LightKey` to a partition holding only the
+        new records (a chunk of a replayed trace, or fresh arrivals of a
+        live stream).  Returns the set of touched lights.  Contracts:
+
+        * each touched light's rows are re-sorted into the canonical
+          ``(t, taxi_id)`` order, so the merged columns are independent
+          of how the records were chunked or permuted on the way in
+          (bit-for-bit, whenever report timestamps are unique per
+          light — always true for continuous-time traces);
+        * **only** touched lights lose their cached partition view, stop
+          events, mean report interval, and memo (:attr:`cache`)
+          entries — every other light's caches survive verbatim;
+        * an irregular chunk (inconsistent column lengths) quarantines
+          its light onto the serial pass-through path, exactly like an
+          irregular partition at build time; healthy lights are
+          unaffected;
+        * a store spilled to ``mmap_dir`` is pulled back in-memory (the
+          on-disk columns no longer match).
+        """
+        touched: Set[LightKey] = set()
+        demoted: Set[LightKey] = set()
+        add_rows: Dict[LightKey, "LightPartition"] = {}
+        for raw_key in sorted(chunk):
+            part = chunk[raw_key]
+            key: LightKey = (int(raw_key[0]), str(raw_key[1]))
+            if key not in self._irregular and _is_regular(part):
+                if len(part.trace) == 0:
+                    continue  # empty chunk: nothing changes, keep caches
+                add_rows[key] = part
+            else:
+                base = self._irregular.get(key)
+                if base is None and key in self._index:
+                    base = self.partition(key)
+                    demoted.add(key)
+                self._irregular[key] = (
+                    part if base is None else _merge_irregular(base, part)
+                )
+            touched.add(key)
+        if add_rows or demoted:
+            self._splice_rows(add_rows, demoted)
+        for key in touched:
+            self.invalidate_light(key)
+        if touched:
+            self._refresh_keys()
+        return frozenset(touched)
+
+    def _splice_rows(
+        self,
+        add_rows: "Mapping[LightKey, LightPartition]",
+        demoted: AbstractSet[LightKey],
+    ) -> None:
+        """Rebuild the CSR columns with *add_rows* merged in.
+
+        Untouched lights' rows are copied verbatim (one concatenate per
+        column); each touched light's merged rows are re-sorted into the
+        canonical ``(t, taxi_id)`` order.
+        """
+        old_cols = self.columns
+        new_keys = sorted(
+            (set(self._regular_keys) | set(add_rows)) - set(demoted)
+        )
+        pieces: Dict[str, List[np.ndarray]] = {name: [] for name in _ALL_COLUMNS}
+        offsets = np.zeros(len(new_keys) + 1, dtype=np.int64)
+        for i, key in enumerate(new_keys):
+            cols_k: Dict[str, np.ndarray] = {}
+            if key in self._index:
+                lo, hi = self._range(key)
+                for name in _ALL_COLUMNS:
+                    cols_k[name] = old_cols[name][lo:hi]
+            fresh = add_rows.get(key)
+            if fresh is not None:
+                new_cols = _partition_columns(fresh)
+                if cols_k:
+                    for name in _ALL_COLUMNS:
+                        cols_k[name] = np.concatenate([cols_k[name], new_cols[name]])
+                else:
+                    cols_k = new_cols
+                order = np.lexsort((cols_k["taxi_id"], cols_k["t"]))
+                if not np.array_equal(order, np.arange(order.shape[0])):
+                    cols_k = {name: col[order] for name, col in cols_k.items()}
+            offsets[i + 1] = offsets[i] + cols_k["t"].shape[0]
+            for name in _ALL_COLUMNS:
+                pieces[name].append(np.asarray(cols_k[name]))
+        self._regular_keys = list(new_keys)
+        self._offsets = offsets
+        self._columns = {name: _concat(pieces[name]) for name in _ALL_COLUMNS}
+        self._mmap_dir = None
+
+    def invalidate_light(self, key: LightKey, *, derived_only: bool = False) -> None:
+        """Drop one light's cached state, leaving every other light's intact.
+
+        With ``derived_only=True`` the light's own extractions (cached
+        partition view, stop events, mean interval) survive and only its
+        open-memo (:attr:`cache`) entries are purged — the right scope
+        when a *neighbouring* light's new data can invalidate
+        enhancement-dependent intermediates (mirrored sample grids) but
+        not this light's own records.
+        """
+        if not derived_only:
+            self._partitions.pop(key, None)
+            self._stops.pop(key, None)
+            self._intervals.pop(key, None)
+        stale = [
+            ck
+            for ck in self.cache
+            if isinstance(ck, tuple) and len(ck) >= 2 and ck[1] == key
+        ]
+        for ck in stale:
+            del self.cache[ck]
 
     def spill_to(self, mmap_dir: str) -> None:
         """Write the columns to ``mmap_dir`` and re-open them mapped.
@@ -364,3 +482,49 @@ def _concat(parts: List[np.ndarray]) -> np.ndarray:
     if not parts:
         return np.empty(0)
     return np.concatenate(parts)
+
+
+def _partition_columns(part: "LightPartition") -> Dict[str, np.ndarray]:
+    """One partition's rows as the store's column dict."""
+    out: Dict[str, np.ndarray] = {
+        name: np.asarray(getattr(part.trace, name)) for name in TraceArrays.COLUMNS
+    }
+    out["segment_id"] = np.asarray(part.segment_id)
+    out["dist_to_stopline_m"] = np.asarray(part.dist_to_stopline_m, dtype=float)
+    return out
+
+
+def _merge_partitions(
+    base: "LightPartition", fresh: "LightPartition"
+) -> "LightPartition":
+    """Row-concatenate two partitions (may raise on garbage inputs)."""
+    from ..matching.partition import LightPartition
+
+    return LightPartition(
+        intersection_id=base.intersection_id,
+        approach=base.approach,
+        trace=TraceArrays.concat([base.trace, fresh.trace]),
+        segment_id=np.concatenate(
+            [np.asarray(base.segment_id), np.asarray(fresh.segment_id)]
+        ),
+        dist_to_stopline_m=np.concatenate(
+            [
+                np.asarray(base.dist_to_stopline_m, dtype=float),
+                np.asarray(fresh.dist_to_stopline_m, dtype=float),
+            ]
+        ),
+    )
+
+
+def _merge_irregular(base: Any, fresh: Any) -> Any:
+    """Best-effort merge of two pass-through partitions.
+
+    Either side may be arbitrary garbage, so the merge runs through the
+    sanctioned containment seam.  When it fails, the *fresh* chunk wins:
+    the serial path then surfaces the fault for this light instead of
+    silently serving estimates from stale pre-chunk records.
+    """
+    merged = run_guarded(_merge_partitions, base, fresh)
+    if isinstance(merged, WorkerError):
+        return fresh
+    return merged

@@ -20,11 +20,25 @@ def city():
     return small_scenario(cycle_s=98.0, ns_red_s=39.0, rate_per_hour=400.0, seed=0)
 
 
+def _fingerprint(trace, parts):
+    """Cheap content checksum of the shared artifacts (read-only guard)."""
+    total = float(np.sum(trace.speed_kmh)) + float(np.sum(trace.lon))
+    for key in sorted(parts):
+        p = parts[key]
+        total += float(np.sum(p.trace.speed_kmh)) + float(np.sum(p.trace.t))
+    return total
+
+
 @pytest.fixture(scope="session")
 def city_data(city):
     """(trace, partitions) for 1.5 simulated hours of the test city."""
     trace, parts = simulate_and_partition(city, 0.0, 5400.0, seed=7, serial=False)
-    return trace, parts
+    before = _fingerprint(trace, parts)
+    yield trace, parts
+    assert _fingerprint(trace, parts) == before, (
+        "a test mutated the session-scoped city fixture in place "
+        "(write-through-a-view bug); copy before writing"
+    )
 
 
 @pytest.fixture(scope="session")
@@ -43,3 +57,24 @@ def partitions(city_data):
 def rng():
     """Fresh deterministic generator per test."""
     return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _guard_global_numpy_rng():
+    """Fail any test that mutates the legacy global NumPy RNG.
+
+    Library and test code must draw randomness from explicit
+    ``Generator`` objects (the ``rng`` fixture, ``as_rng``); touching
+    ``np.random.*`` module-level functions reorders every later draw
+    and is the classic source of order-dependent flakes.
+    """
+    before = np.random.get_state()
+    yield
+    after = np.random.get_state()
+    same = before[0] == after[0] and all(
+        np.array_equal(b, a) for b, a in zip(before[1:], after[1:])
+    )
+    assert same, (
+        "test mutated the global NumPy RNG state; use an explicit "
+        "np.random.Generator (e.g. the `rng` fixture) instead"
+    )

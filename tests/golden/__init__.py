@@ -1,0 +1,8 @@
+"""Golden-fixture regression harness.
+
+Committed JSON snapshots of the full pipeline's estimates on seeded
+scenarios, compared with **exact** float64 equality — any numeric drift
+anywhere in the stack (matching, stops, spectra, refinement) fails the
+suite instead of hiding under a tolerance.  Regenerate deliberately with
+``python -m tests.golden.regen`` after an intended numeric change.
+"""

@@ -1,0 +1,107 @@
+"""The seeded scenarios behind the golden fixtures, and their payloads.
+
+Everything that defines a fixture lives here — scenario parameters,
+pipeline invocation, and the JSON payload layout — so the regeneration
+script and the regression test cannot drift apart.  Floats are stored
+via ``json`` (shortest-repr), which round-trips IEEE-754 doubles
+exactly: the comparison in ``tests/test_golden.py`` is bitwise.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent
+
+
+@dataclass(frozen=True)
+class GoldenScenario:
+    """One seeded end-to-end run pinned by a committed fixture."""
+
+    name: str
+    cycle_s: float
+    ns_red_s: float
+    rate_per_hour: float
+    scenario_seed: int
+    sim_seed: int
+    horizon_s: float
+    at_time: float
+
+    @property
+    def path(self) -> pathlib.Path:
+        return FIXTURE_DIR / f"golden_{self.name}.json"
+
+
+#: Three small cities spanning short/medium/long cycles.  ``a`` matches
+#: the session-scoped ``city_data`` fixture so the regression test can
+#: reuse it instead of re-simulating.
+GOLDEN_SCENARIOS: Tuple[GoldenScenario, ...] = (
+    GoldenScenario("a", 98.0, 39.0, 400.0, 0, 7, 5400.0, 5400.0),
+    GoldenScenario("b", 80.0, 30.0, 300.0, 1, 11, 4800.0, 4800.0),
+    GoldenScenario("c", 120.0, 50.0, 350.0, 2, 23, 5400.0, 5000.0),
+)
+
+
+def build_partitions(spec: GoldenScenario):
+    """Simulate the scenario and partition its trace (deterministic)."""
+    from repro.eval import simulate_and_partition
+    from repro.scenario import small_scenario
+
+    city = small_scenario(
+        cycle_s=spec.cycle_s,
+        ns_red_s=spec.ns_red_s,
+        rate_per_hour=spec.rate_per_hour,
+        seed=spec.scenario_seed,
+    )
+    _trace, partitions = simulate_and_partition(
+        city, 0.0, spec.horizon_s, seed=spec.sim_seed, serial=False
+    )
+    return partitions
+
+
+def compute_payload(spec: GoldenScenario, partitions=None) -> Dict:
+    """The fixture payload for ``spec`` (batched backend, full pipeline)."""
+    from repro.core import identify_many
+
+    if partitions is None:
+        partitions = build_partitions(spec)
+    estimates, failures = identify_many(
+        partitions, spec.at_time, backend="batched"
+    )
+    payload: Dict = {
+        "scenario": asdict(spec),
+        "estimates": {},
+        "failures": {},
+    }
+    for (iid, approach) in sorted(estimates):
+        est = estimates[(iid, approach)]
+        payload["estimates"][f"{iid}:{approach}"] = {
+            "cycle_s": est.cycle_s,
+            "red_s": est.red_s,
+            "green_s": est.green_s,
+            "offset_s": est.schedule.offset_s,
+            "red_to_green_s": est.change.red_to_green_s,
+            "green_to_red_s": est.change.green_to_red_s,
+        }
+    for (iid, approach) in sorted(failures):
+        fail = failures[(iid, approach)]
+        payload["failures"][f"{iid}:{approach}"] = {
+            "stage": fail.stage,
+            "error_type": fail.error_type,
+            "message": fail.message,
+        }
+    return payload
+
+
+def load_fixture(spec: GoldenScenario) -> Dict:
+    with open(spec.path, encoding="utf-8") as fp:
+        return json.load(fp)
+
+
+def save_fixture(spec: GoldenScenario, payload: Dict) -> None:
+    with open(spec.path, "w", encoding="utf-8") as fp:
+        json.dump(payload, fp, indent=2, sort_keys=True)
+        fp.write("\n")

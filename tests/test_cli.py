@@ -84,6 +84,31 @@ class TestEvaluateCommand:
         assert "cycle length" in out and "cycle-locked" in out
 
 
+class TestStreamCommand:
+    def test_stream_replay(self, city_prefix, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "stream_report.json")
+        rc = main(["stream", "--city", city_prefix, "--chunk", "900",
+                   "--report", path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replaying" in out
+        assert "chunk   0" in out
+        assert "final estimates" in out
+        assert "true cycle" in out  # ground truth present -> scored output
+        doc = json.loads(open(path).read())
+        assert doc["schema"] == "repro.run_report/v1"
+        assert len(doc["chunks"]) >= 3
+        assert sum(c["n_records"] for c in doc["chunks"]) > 0
+
+    def test_stream_backend_flag_on_identify(self, city_prefix, capsys):
+        rc = main(["identify", "--city", city_prefix, "--at", "3600",
+                   "--backend", "stream"])
+        assert rc == 0
+        assert "cycle" in capsys.readouterr().out
+
+
 class TestMonitorCommand:
     def test_monitor(self, city_prefix, capsys):
         rc = main(["monitor", "--city", city_prefix, "--light", "0:NS",

@@ -1,0 +1,99 @@
+"""Golden-fixture regression: pipeline outputs vs committed snapshots.
+
+The committed fixtures in ``tests/golden/`` pin the **exact** float64
+estimates of three seeded scenarios.  Comparison is pure equality on the
+JSON-round-tripped payload — IEEE-754 doubles survive the shortest-repr
+round trip bit-for-bit, so any numeric change anywhere in the stack
+shows up as a hard diff here.  Regenerate deliberately with
+``python -m tests.golden.regen`` (never from inside a test).
+"""
+
+import json
+
+import pytest
+
+from tests.golden.scenarios import (
+    GOLDEN_SCENARIOS,
+    build_partitions,
+    compute_payload,
+    load_fixture,
+)
+
+_BY_NAME = {spec.name: spec for spec in GOLDEN_SCENARIOS}
+
+
+def _diff(expected, actual):
+    """Human-readable first-differences between two fixture payloads."""
+    lines = []
+    for section in ("estimates", "failures"):
+        exp, act = expected[section], actual[section]
+        for key in sorted(set(exp) | set(act)):
+            if exp.get(key) != act.get(key):
+                lines.append(f"{section}[{key}]: {exp.get(key)} != {act.get(key)}")
+    return "\n".join(lines) or "payloads differ outside estimates/failures"
+
+
+@pytest.fixture(scope="module")
+def golden_partitions(partitions):
+    """Partitions per scenario; ``a`` reuses the session city fixture."""
+
+    def build(spec):
+        if spec.name == "a":
+            return partitions
+        return build_partitions(spec)
+
+    return build
+
+
+class TestGoldenFixtures:
+    def test_all_fixtures_exist(self):
+        for spec in GOLDEN_SCENARIOS:
+            assert spec.path.exists(), (
+                f"missing fixture {spec.path}; run "
+                "`PYTHONPATH=src python -m tests.golden.regen`"
+            )
+
+    @pytest.mark.parametrize("name", sorted(_BY_NAME))
+    def test_pipeline_matches_fixture_exactly(self, name, golden_partitions):
+        spec = _BY_NAME[name]
+        expected = load_fixture(spec)
+        actual = json.loads(json.dumps(compute_payload(
+            spec, golden_partitions(spec)
+        )))
+        assert expected["scenario"] == actual["scenario"], (
+            "scenario parameters drifted from the committed fixture"
+        )
+        assert expected == actual, _diff(expected, actual)
+
+    @pytest.mark.parametrize("name", sorted(_BY_NAME))
+    def test_stream_backend_matches_fixture_exactly(self, name, golden_partitions):
+        """The replay-parity contract extends to the committed numbers."""
+        from repro.core import identify_many
+
+        spec = _BY_NAME[name]
+        expected = load_fixture(spec)
+        parts = golden_partitions(spec)
+        estimates, failures = identify_many(
+            parts, spec.at_time, backend="stream"
+        )
+        got = {
+            f"{iid}:{app}": {
+                "cycle_s": est.cycle_s,
+                "red_s": est.red_s,
+                "green_s": est.green_s,
+                "offset_s": est.schedule.offset_s,
+                "red_to_green_s": est.change.red_to_green_s,
+                "green_to_red_s": est.change.green_to_red_s,
+            }
+            for (iid, app), est in estimates.items()
+        }
+        assert json.loads(json.dumps(got)) == expected["estimates"]
+        assert sorted(f"{i}:{a}" for i, a in failures) == sorted(
+            expected["failures"]
+        )
+
+    def test_fixture_floats_roundtrip_exactly(self):
+        """The storage format itself cannot lose precision."""
+        for spec in GOLDEN_SCENARIOS:
+            payload = load_fixture(spec)
+            assert json.loads(json.dumps(payload)) == payload

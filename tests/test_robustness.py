@@ -84,9 +84,12 @@ class TestDegenerateInputs:
         """All-identical speeds carry no periodicity: must raise or
         produce a finite estimate, never crash or loop."""
         p = next(iter(partitions.values()))
+        # subset with a fancy index, not slice(None): slicing returns
+        # *views*, and writing through them would corrupt the shared
+        # session fixture for every later test
         frozen = LightPartition(
             p.intersection_id, p.approach,
-            p.trace.subset(slice(None)), p.segment_id.copy(),
+            p.trace.subset(np.arange(len(p.trace))), p.segment_id.copy(),
             p.dist_to_stopline_m.copy(),
         )
         frozen.trace.speed_kmh[:] = 25.0

@@ -1,18 +1,31 @@
 """``python -m repro.analysis`` — the invariant linter CLI.
 
 Exit status: 0 when the tree is clean, 1 when any finding survives
-suppression, 2 on usage errors.  Designed to sit next to ``ruff`` and
-``mypy`` as a third named CI step, so failures attribute cleanly.
+suppression, 2 on usage errors or a blown ``--max-seconds`` budget.
+Designed to sit next to ``ruff`` and ``mypy`` as a third named CI
+step, so failures attribute cleanly; ``--format sarif`` feeds the same
+findings to GitHub code scanning, and ``--diff BASE`` narrows a local
+run to the functions a branch actually touched.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import json
+import subprocess
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from .engine import run_paths
-from .rules import ALL_RULES
+from .engine import (
+    Finding,
+    iter_python_files,
+    run_paths,
+    strip_suppressions,
+    to_sarif,
+)
+from .rules import ALL_RULES, AUDIT_RULES, PROGRAM_RULES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -23,8 +36,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src"],
-        help="files or directories to check (default: src)",
+        default=["src", "tests"],
+        help="files or directories to check (default: src tests)",
     )
     parser.add_argument(
         "--select",
@@ -37,6 +50,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule table and exit",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="write the formatted findings to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="BASE",
+        help=(
+            "only report findings in functions changed since the git "
+            "revision BASE (e.g. origin/main)"
+        ),
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        metavar="S",
+        help="fail (exit 2) if the analysis takes longer than S seconds",
+    )
+    parser.add_argument(
+        "--fix-unused",
+        action="store_true",
+        help=(
+            "rewrite files in place, removing every suppression comment "
+            "the unused-suppression audit (REP011) reported"
+        ),
+    )
+    parser.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -45,36 +94,178 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _changed_ranges(base: str, paths: Sequence[str]) -> Dict[str, List[Tuple[int, int]]]:
+    """path -> [(start, end)] line ranges changed since *base*.
+
+    Parsed from ``git diff -U0``: each ``@@ -a,b +c,d @@`` hunk
+    contributes the post-image range ``[c, c+max(d,1))`` (a pure
+    deletion still marks the line it landed on, so a finding introduced
+    by deleting an invalidation next to line ``c`` stays in scope).
+    """
+    cmd = ["git", "diff", "-U0", "--no-color", base, "--", *paths]
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    ranges: Dict[str, List[Tuple[int, int]]] = {}
+    current: Optional[str] = None
+    for line in proc.stdout.splitlines():
+        if line.startswith("+++ "):
+            target = line[4:].strip()
+            current = None if target == "/dev/null" else target.removeprefix("b/")
+        elif line.startswith("@@") and current is not None:
+            try:
+                plus = line.split("+", 1)[1].split(" ", 1)[0]
+            except IndexError:
+                continue
+            if "," in plus:
+                start_s, count_s = plus.split(",", 1)
+                start, count = int(start_s), int(count_s)
+            else:
+                start, count = int(plus), 1
+            ranges.setdefault(current, []).append((start, start + max(count, 1)))
+    return ranges
+
+
+def _function_spans(source: str) -> List[Tuple[int, int]]:
+    """(start, end) line spans of every function/method in *source*."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return []
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            spans.append((node.lineno, node.end_lineno or node.lineno))
+    return spans
+
+
+def _diff_filter(findings: List[Finding], base: str, paths: Sequence[str]) -> List[Finding]:
+    """Keep findings whose enclosing function overlaps the diff.
+
+    A finding in an untouched file is dropped; a finding in a changed
+    file survives when its line sits in a changed range, or when the
+    innermost function containing it overlaps one (editing any line of
+    a function can flip a whole-function property like REP007).
+    """
+    ranges = _changed_ranges(base, paths)
+    span_cache: Dict[str, List[Tuple[int, int]]] = {}
+    kept: List[Finding] = []
+    for finding in findings:
+        changed = ranges.get(finding.path)
+        if not changed:
+            continue
+        if any(start <= finding.line < end for start, end in changed):
+            kept.append(finding)
+            continue
+        if finding.path not in span_cache:
+            try:
+                with open(finding.path, encoding="utf-8") as fp:
+                    span_cache[finding.path] = _function_spans(fp.read())
+            except OSError:
+                span_cache[finding.path] = []
+        enclosing = [
+            span
+            for span in span_cache[finding.path]
+            if span[0] <= finding.line <= span[1]
+        ]
+        if not enclosing:
+            continue
+        # innermost function containing the finding
+        fn_start, fn_end = max(enclosing, key=lambda span: span[0])
+        if any(start <= fn_end and fn_start < end for start, end in changed):
+            kept.append(finding)
+    return kept
+
+
+def _apply_fix_unused(findings: List[Finding]) -> int:
+    """Strip the suppressions REP011 reported; returns files rewritten."""
+    by_path: Dict[str, Dict[int, Set[str]]] = {}
+    for finding in findings:
+        if finding.rule != "REP011":
+            continue
+        match = finding.message.split("`allow[", 1)
+        if len(match) != 2:
+            continue
+        rule_id = match[1].split("]", 1)[0]
+        by_path.setdefault(finding.path, {}).setdefault(finding.line, set()).add(
+            rule_id
+        )
+    for path, removals in sorted(by_path.items()):
+        with open(path, encoding="utf-8") as fp:
+            source = fp.read()
+        fixed = strip_suppressions(source, removals)
+        if fixed != source:
+            with open(path, "w", encoding="utf-8") as fp:
+                fp.write(fixed)
+    return len(by_path)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in (*ALL_RULES, *PROGRAM_RULES, *AUDIT_RULES):
             print(f"{rule.id}  {rule.summary}")
         return 0
 
     select: Optional[List[str]] = None
     if args.select:
         select = [part.strip() for part in args.select.split(",") if part.strip()]
-        known = {rule.id for rule in ALL_RULES}
+        known = {rule.id for rule in (*ALL_RULES, *PROGRAM_RULES, *AUDIT_RULES)}
         unknown = [rule_id for rule_id in select if rule_id not in known]
         if unknown:
             parser.error(f"unknown rule id(s): {', '.join(unknown)}")
 
+    started = time.perf_counter()
     try:
         findings = run_paths(args.paths, select=select)
     except FileNotFoundError as exc:
         parser.error(str(exc))
+    elapsed = time.perf_counter() - started
 
-    for finding in findings:
-        print(finding.render())
+    if args.diff is not None:
+        try:
+            findings = _diff_filter(findings, args.diff, args.paths)
+        except subprocess.CalledProcessError as exc:
+            parser.error(
+                f"git diff against {args.diff!r} failed: "
+                f"{exc.stderr.strip() or exc}"
+            )
+
+    if args.fix_unused:
+        fixed = _apply_fix_unused(findings)
+        findings = [f for f in findings if f.rule != "REP011"]
+        if not args.quiet and fixed:
+            print(f"removed unused suppressions in {fixed} file(s)", file=sys.stderr)
+
+    if args.format == "sarif":
+        payload = json.dumps(to_sarif(findings), indent=2, sort_keys=True)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fp:
+                fp.write(payload + "\n")
+        else:
+            print(payload)
+    else:
+        rendered = "\n".join(finding.render() for finding in findings)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fp:
+                fp.write(rendered + ("\n" if rendered else ""))
+        elif rendered:
+            print(rendered)
+
     if not args.quiet:
         checked = ", ".join(args.paths)
         if findings:
             print(f"{len(findings)} finding(s) in {checked}", file=sys.stderr)
         else:
             print(f"clean: {checked}", file=sys.stderr)
+
+    if args.max_seconds is not None and elapsed > args.max_seconds:
+        print(
+            f"analysis took {elapsed:.2f}s, over the --max-seconds "
+            f"{args.max_seconds:g} budget",
+            file=sys.stderr,
+        )
+        return 2
     return 1 if findings else 0
 
 

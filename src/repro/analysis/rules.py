@@ -17,9 +17,29 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass
+from fnmatch import fnmatch
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-__all__ = ["Finding", "Rule", "ALL_RULES", "SUPPRESSION_SCOPE"]
+from .callgraph import module_path, own_nodes
+from .effects import (
+    CONSTRUCTION_EXEMPT,
+    Program,
+    Site,
+    call_tainted_locals,
+    expr_unordered,
+    unordered_locals,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "ProgramRule",
+    "ALL_RULES",
+    "PROGRAM_RULES",
+    "AUDIT_RULES",
+    "SUPPRESSION_SCOPE",
+    "module_path",
+]
 
 
 @dataclass(frozen=True)
@@ -45,9 +65,17 @@ CONTAINMENT_SEAMS = (
     "repro/parallel/pool.py",
 )
 
+#: Files allowed to carry an ``allow[REP007]``: the store internals,
+#: where the sanctioned representation flip (``_swap_backing``) lives.
+STORE_FILES = (
+    "repro/trace/store.py",
+    "repro/stream/store.py",
+)
+
 #: Rules whose suppression comments are only honored in specific files.
 SUPPRESSION_SCOPE: Dict[str, Tuple[str, ...]] = {
     "REP002": CONTAINMENT_SEAMS,
+    "REP007": STORE_FILES,
 }
 
 #: Parity-critical kernels: every float op here must be bit-for-bit
@@ -303,8 +331,17 @@ class RngSeamRule(Rule):
     #: np.random attributes that are types/seeds, not entropy sources.
     _ALLOWED_NP_RANDOM = frozenset({"Generator", "SeedSequence", "BitGenerator"})
 
+    #: In the tests tree the test *is* the caller, so seeding its own
+    #: ``default_rng(seed)`` is the reproducible pattern, and the
+    #: conftest RNG guard must read ``get_state``.  Global entropy
+    #: (``np.random.seed``/``rand``/...) and stdlib ``random`` stay
+    #: banned there too.
+    _ALLOWED_NP_RANDOM_TESTS = _ALLOWED_NP_RANDOM | frozenset(
+        {"default_rng", "get_state"}
+    )
+
     def applies(self, mod_path: str) -> bool:
-        return _is_library(mod_path) and mod_path != "repro/_util.py"
+        return mod_path != "repro/_util.py"
 
     def check(self, tree: ast.AST, path: str, mod_path: str) -> Iterator[Finding]:
         aliases = _import_aliases(tree)
@@ -331,11 +368,16 @@ class RngSeamRule(Rule):
                 if chain is None:
                     continue
                 parts = chain.split(".")
+                allowed = (
+                    self._ALLOWED_NP_RANDOM
+                    if _is_library(mod_path)
+                    else self._ALLOWED_NP_RANDOM_TESTS
+                )
                 if (
                     len(parts) >= 3
                     and parts[0] == "numpy"
                     and parts[1] == "random"
-                    and parts[2] not in self._ALLOWED_NP_RANDOM
+                    and parts[2] not in allowed
                 ):
                     yield self.finding(
                         path,
@@ -472,7 +514,7 @@ class SetOrderRule(Rule):
     _REDUCERS = frozenset({"sum", "fsum", "prod", "cumsum", "nansum", "mean", "std", "var"})
 
     def applies(self, mod_path: str) -> bool:
-        return _is_library(mod_path)
+        return True
 
     def _is_set_expr(self, node: ast.expr) -> bool:
         if isinstance(node, (ast.Set, ast.SetComp)):
@@ -517,6 +559,331 @@ class SetOrderRule(Rule):
                     )
 
 
+# ----------------------------------------------------------------------
+# Whole-program rules (REP007+): consume the call-graph/effect engine
+# ----------------------------------------------------------------------
+
+
+class ProgramRule:
+    """Base for rules over interprocedural effect summaries.
+
+    Unlike :class:`Rule`, these see the whole analyzed tree at once (a
+    :class:`~repro.analysis.effects.Program`); per-line suppressions
+    still apply to their findings, and effect-level suppressions are
+    consumed inside the engine before findings exist.
+    """
+
+    id = "REP000"
+    summary = ""
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, path: str, line: int, col: int, message: str) -> Finding:
+        return Finding(rule=self.id, path=path, line=line, col=col, message=message)
+
+
+def _in_library(path: str) -> bool:
+    return module_path(path).startswith("repro/")
+
+
+class StoreCoherenceRule(ProgramRule):
+    """REP007 — store mutations must carry their cache invalidation.
+
+    ``PartitionStore``/``StreamStore`` layer three caches over the
+    column data (partition views, stop events, the open memo); a write
+    to a data attribute that no ``invalidate_light`` / ``_init_derived``
+    accompanies — on any path, through any depth of helpers — leaves
+    those caches describing rows that no longer exist.  PR 4's
+    append path got this right by convention; this rule makes the
+    convention load-bearing.  Memo fills are additionally checked
+    against the tuple-key convention ``invalidate_light`` purges by.
+    """
+
+    id = "REP007"
+    summary = "store column/memo write not covered by invalidate_light/cache drop"
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for qualname in sorted(program.graph.functions):
+            fn = program.graph.functions[qualname]
+            if not _in_library(fn.path):
+                continue
+            summary = program.effects[qualname]
+            for site in summary.bad_memo_fills:
+                yield self.finding_at(
+                    site.path,
+                    site.lineno,
+                    site.col,
+                    f"`{qualname}` fills store.cache with a key that is not "
+                    f"a (kind, LightKey, ...) tuple; invalidate_light cannot "
+                    f"purge it, so appends leave stale hits behind",
+                )
+            if fn.name in CONSTRUCTION_EXEMPT:
+                continue
+            if not summary.writes_data or summary.invalidates:
+                continue
+            if not (fn.is_public or not program.graph.callers_of(qualname)):
+                # a private helper's write is charged to whichever
+                # public entry reaches it without invalidating
+                continue
+            anchors = summary.data_writes or summary.write_call_sites
+            if not anchors:
+                continue
+            site = anchors[0]
+            yield self.finding_at(
+                site.path,
+                site.lineno,
+                site.col,
+                f"`{qualname}` mutates store data ({site.detail}) with no "
+                f"invalidate_light/_init_derived on the path; partition/stop/"
+                f"interval views and memo entries go stale",
+            )
+
+
+class WorkerEscapeRule(ProgramRule):
+    """REP008 — nothing captured by a worker fan-out is mutated after.
+
+    ``pmap``/``pmap_seeded``/``ProcessPoolExecutor`` pickle their
+    arguments into worker processes; a later mutation in the parent
+    diverges parent and workers (and on the in-process ``serial=True``
+    path mutates state the "workers" still share).  In the tests tree
+    the same contract binds session-/module-scoped pytest fixtures:
+    they are shared across tests by construction, so any mutation —
+    direct or through a helper — makes results order-dependent (the
+    bug PR 4's conftest fingerprint guard caught only at runtime).
+    """
+
+    id = "REP008"
+    summary = "object escaping into a worker fan-out (or shared fixture) mutated afterwards"
+
+    @staticmethod
+    def _is_test_or_fixture(fn_node: ast.AST, name: str) -> bool:
+        if name.startswith("test_"):
+            return True
+        for deco in getattr(fn_node, "decorator_list", []):
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            chain = dotted_name(target)
+            if chain is not None and chain.split(".")[-1] == "fixture":
+                return True
+        return False
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for qualname in sorted(program.graph.functions):
+            fn = program.graph.functions[qualname]
+            summary = program.effects[qualname]
+            first_escape: Dict[str, Site] = {}
+            for name, site in summary.escapes:
+                prev = first_escape.get(name)
+                if prev is None or site.lineno < prev.lineno:
+                    first_escape[name] = site
+            seen: set = set()
+            for name, msite in summary.mutations:
+                esc = first_escape.get(name)
+                if esc is not None and msite.lineno > esc.lineno:
+                    key = (msite.path, msite.lineno, name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield self.finding_at(
+                        msite.path,
+                        msite.lineno,
+                        msite.col,
+                        f"`{name}` escaped into a worker fan-out at line "
+                        f"{esc.lineno} and is mutated afterwards "
+                        f"({msite.detail}); workers hold the pre-mutation "
+                        f"copy, so results depend on scheduling",
+                    )
+            if _in_library(fn.path):
+                continue
+            if not self._is_test_or_fixture(fn.node, fn.name):
+                continue
+            for name, msite in summary.mutations:
+                if name not in fn.params or name not in program.shared_fixtures:
+                    continue
+                if program.shared_fixtures[name] == qualname:
+                    continue  # the fixture may build its own value
+                key = (msite.path, msite.lineno, name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding_at(
+                    msite.path,
+                    msite.lineno,
+                    msite.col,
+                    f"`{qualname}` mutates `{name}` ({msite.detail}), a "
+                    f"session/module-scoped fixture shared across tests; "
+                    f"copy it (or narrow the fixture scope) instead",
+                )
+
+
+class CrossCallSetOrderRule(ProgramRule):
+    """REP009 — set-order taint must not reach reductions through calls.
+
+    The intra-procedural REP006 sees ``sum(a_set)``; it is blind when
+    the set is built in one function and reduced in another.  This rule
+    follows the taint across call boundaries in both directions: a
+    callee that *returns* set-ordered data feeding a local float
+    reduction, and a locally tainted value passed into a callee
+    parameter that feeds one.
+    """
+
+    id = "REP009"
+    summary = "set-iteration-order taint reaches a float reduction through a call"
+
+    _REDUCERS = SetOrderRule._REDUCERS
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        effects = program.effects
+        for qualname in sorted(program.graph.functions):
+            fn = program.graph.functions[qualname]
+            tainted = unordered_locals(fn, effects)
+            via_call = call_tainted_locals(fn, effects)
+            for node in own_nodes(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = dotted_name(node.func)
+                parts = chain.split(".") if chain else []
+                is_reducer = bool(parts) and parts[-1] in self._REDUCERS and (
+                    len(parts) == 1 or parts[0] in ("np", "numpy", "math")
+                )
+                if is_reducer and node.args:
+                    arg = node.args[0]
+                    fires = False
+                    if isinstance(arg, ast.Name) and arg.id in via_call:
+                        fires = True
+                    elif isinstance(arg, ast.Call):
+                        fires = expr_unordered(fn, arg, via_call, effects)
+                    if fires:
+                        yield self.finding_at(
+                            fn.path,
+                            arg.lineno,
+                            arg.col_offset,
+                            f"`{chain}` in `{qualname}` reduces a value whose "
+                            f"iteration order came from a set in a *callee*; "
+                            f"sort before reducing (REP006's cross-call twin)",
+                        )
+                # locally tainted value handed to a callee's reducer
+                site = None
+                for cs in fn.calls:
+                    if cs.node is node:
+                        site = cs
+                        break
+                if site is None or site.callee not in effects:
+                    continue
+                callee_summary = effects[site.callee]
+                if not callee_summary.unordered_sink_params:
+                    continue
+                callee_fn = program.graph.functions[site.callee]
+                callee_params = list(callee_fn.params)
+                if callee_fn.cls is not None and callee_params[:1] in (
+                    ["self"], ["cls"]
+                ):
+                    callee_params = callee_params[1:]
+                for i, arg in enumerate(node.args):
+                    if i >= len(callee_params):
+                        break
+                    if callee_params[i] not in callee_summary.unordered_sink_params:
+                        continue
+                    if expr_unordered(fn, arg, tainted, effects):
+                        yield self.finding_at(
+                            fn.path,
+                            arg.lineno,
+                            arg.col_offset,
+                            f"set-ordered value flows from `{qualname}` into "
+                            f"`{site.callee}` parameter "
+                            f"`{callee_params[i]}`, which feeds an "
+                            f"order-sensitive float reduction; sort at the "
+                            f"boundary",
+                        )
+
+
+class StrictFrontierRule(ProgramRule):
+    """REP010 — parity kernels only call into the mypy-strict frontier.
+
+    The bit-for-bit serial/batched/stream contract is only as strong as
+    the types it flows through: a parity-reachable call into an
+    untyped module is where an accidental float32 or object-dtype array
+    enters unchecked.  ``STRICT_MODULES`` mirrors the
+    ``[[tool.mypy.overrides]]`` strict tier in ``pyproject.toml``
+    (asserted in tests); extend both together.
+    """
+
+    id = "REP010"
+    summary = "function reachable from the parity kernels calls a non-strict-typed module"
+
+    #: Mirror of pyproject's strict-override list.  mypy's ``foo.*``
+    #: matches ``foo`` itself as well, so each glob entry appears in
+    #: both spellings.
+    STRICT_MODULES: Tuple[str, ...] = (
+        "repro._util",
+        "repro.analysis", "repro.analysis.*",
+        "repro.core", "repro.core.*",
+        "repro.lights.schedule",
+        "repro.matching.partition",
+        "repro.network.geometry",
+        "repro.obs", "repro.obs.*",
+        "repro.parallel", "repro.parallel.*",
+        "repro.stream", "repro.stream.*",
+        "repro.trace", "repro.trace.*",
+    )
+
+    @classmethod
+    def _is_strict(cls, module: str) -> bool:
+        return any(fnmatch(module, pat) for pat in cls.STRICT_MODULES)
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        roots = [
+            qualname
+            for qualname, fn in program.graph.functions.items()
+            if module_path(fn.path) in PARITY_FILES
+        ]
+        reachable = program.graph.reachable_from(roots)
+        seen: set = set()
+        for qualname in sorted(reachable):
+            fn = program.graph.functions[qualname]
+            for site in fn.calls:
+                module = site.callee_module
+                if module is None or not module.startswith("repro."):
+                    continue
+                if self._is_strict(module):
+                    continue
+                key = (fn.path, site.lineno, module)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding_at(
+                    fn.path,
+                    site.lineno,
+                    site.node.col_offset,
+                    f"`{qualname}` is reachable from the parity kernels but "
+                    f"calls into `{module}`, outside the mypy-strict "
+                    f"frontier; add the module to the strict tier (pyproject "
+                    f"+ STRICT_MODULES) or break the dependency",
+                )
+
+
+class UnusedSuppressionRule(Rule):
+    """REP011 — a suppression that suppresses nothing is a finding.
+
+    Mirrors ruff's RUF100: stale ``allow`` comments read as standing
+    exemptions and hide real regressions when the code around them
+    changes.  The check itself lives in the engine (it needs the full
+    per-file *and* program finding sets to know what each comment
+    caught); this class carries the id/summary for ``--list-rules``,
+    ``--select`` validation, and SARIF metadata.  REP011 findings are
+    not themselves suppressible — remove the dead comment instead.
+    """
+
+    id = "REP011"
+    summary = "suppression comment that suppresses nothing (remove it)"
+
+    def applies(self, mod_path: str) -> bool:
+        return False
+
+    def check(self, tree: ast.AST, path: str, mod_path: str) -> Iterator[Finding]:
+        return iter(())
+
+
 ALL_RULES: Sequence[Rule] = (
     MutableDefaultRule(),
     BroadExceptRule(),
@@ -525,3 +892,12 @@ ALL_RULES: Sequence[Rule] = (
     ParityDtypeRule(),
     SetOrderRule(),
 )
+
+PROGRAM_RULES: Sequence[ProgramRule] = (
+    StoreCoherenceRule(),
+    WorkerEscapeRule(),
+    CrossCallSetOrderRule(),
+    StrictFrontierRule(),
+)
+
+AUDIT_RULES: Sequence[Rule] = (UnusedSuppressionRule(),)

@@ -44,8 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..lights.schedule import LightSchedule
-from ..matching.partition import LightKey
-from ..network.roadnet import Approach
+from ..matching.partition import LightKey, partner_of
 from ..obs import LightFailure, StageTelemetry
 from ..parallel.pool import WorkerError, run_guarded
 from ..trace.store import PartitionStore
@@ -545,7 +544,6 @@ def identify_batch(
     store = PartitionStore.from_partitions(store)
     ccfg = cfg.cycle
     keys = sorted(store) if keys is None else sorted(keys)
-    other = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
     anchor = at_time - cfg.window_s
     phase_anchor = at_time - cfg.phase_window_s
 
@@ -560,7 +558,7 @@ def identify_batch(
         if not store.is_regular(key):
             fallback[key] = True
             continue
-        perp_key = (key[0], other[key[1]])
+        perp_key = partner_of(key)
         state = run_guarded(
             _prepare_light, store, key, perp_key, cfg, anchor, at_time, tel
         )
@@ -637,7 +635,7 @@ def identify_batch(
     for key in keys:
         if key not in fallback:
             continue
-        perp_key = (key[0], other[key[1]])
+        perp_key = partner_of(key)
         perp = store.partition(perp_key) if perp_key in store else None
         _key, est, failure, tel = _identify_one(
             (store.partition(key), perp, at_time, cfg)

@@ -21,8 +21,7 @@ import numpy as np
 
 from .._util import check_positive
 from ..lights.schedule import LightSchedule
-from ..matching.partition import LightKey, LightPartition
-from ..network.roadnet import Approach
+from ..matching.partition import LightKey, LightPartition, partner_of
 from ..obs import LightFailure, RunReport, StageTelemetry
 from ..parallel.pool import WorkerError, get_common, pmap
 from ..trace.store import PartitionStore
@@ -417,7 +416,6 @@ def _identify_many_run(
     """The fan-out body of :func:`identify_many` (timing handled there)."""
     config = PipelineConfig() if config is None else config
     chosen = _resolve_backend(backend, serial)
-    other = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
 
     if chosen == "batched":
         from .batch import identify_batch
@@ -455,8 +453,7 @@ def _identify_many_run(
         keys = sorted(shared)
         jobs_stored = []
         for key in keys:
-            iid, app = key
-            perp_key = (iid, other[app])
+            perp_key = partner_of(key)
             jobs_stored.append(
                 (key, perp_key if perp_key in shared else None, at_time, config)
             )
@@ -467,8 +464,7 @@ def _identify_many_run(
     else:
         jobs = []
         for key in sorted(source):
-            iid, app = key
-            perp = source.get((iid, other[app]))
+            perp = source.get(partner_of(key))
             jobs.append((source[key], perp, at_time, config))
         keys = [job[0].key for job in jobs]
         results = pmap(

@@ -15,9 +15,10 @@ immutable and safely shared across simulator workers.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from .._util import check_nonnegative, check_positive, wrap_mod
 
@@ -82,7 +83,7 @@ class LightSchedule:
     # ------------------------------------------------------------------
     # Phase queries (vectorized over t)
     # ------------------------------------------------------------------
-    def time_in_cycle(self, t):
+    def time_in_cycle(self, t: npt.ArrayLike) -> Union[float, np.ndarray]:
         """Seconds into the current cycle at absolute time(s) ``t``,
         measured from the start of red.  In ``[0, cycle_s)``."""
         if type(t) is float or type(t) is int:
@@ -92,11 +93,11 @@ class LightSchedule:
             return r if r < self.cycle_s else 0.0
         return wrap_mod(np.asarray(t, dtype=float) - self.offset_s, self.cycle_s)
 
-    def is_red(self, t):
+    def is_red(self, t: npt.ArrayLike) -> Union[bool, np.ndarray]:
         """True where the light is red at absolute time(s) ``t``."""
         return self.time_in_cycle(t) < self.red_s
 
-    def is_green(self, t):
+    def is_green(self, t: npt.ArrayLike) -> Union[bool, np.ndarray]:
         """True where the light is green at absolute time(s) ``t``."""
         red = self.is_red(t)
         # `~` is only correct on boolean *arrays*; on a scalar-path
@@ -135,7 +136,7 @@ class LightSchedule:
         local = float(self.time_in_cycle(t))
         return self.red_s - local if local < self.red_s else 0.0
 
-    def red_intervals(self, t0: float, t1: float):
+    def red_intervals(self, t0: float, t1: float) -> np.ndarray:
         """All red intervals ``[start, end)`` overlapping ``[t0, t1)``.
 
         Returned as an ``(n, 2)`` float array, clipped to the window.

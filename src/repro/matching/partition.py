@@ -20,10 +20,24 @@ from ..network.roadnet import Approach, RoadNetwork
 from ..trace.records import TraceArrays
 from .mapmatch import MatchResult
 
-__all__ = ["LightKey", "LightPartition", "partition_by_light"]
+__all__ = ["LightKey", "LightPartition", "partition_by_light", "partner_of"]
 
 #: Partition key: (intersection id, approach group).
 LightKey = Tuple[int, str]
+
+
+def partner_of(key: LightKey) -> LightKey:
+    """Key of the perpendicular approach at the same intersection.
+
+    The §V.B enhancement couples the two approach groups of one
+    physical intersection (same cycle, complementary red/green), so
+    several layers need "the other light here": the batched
+    identifier's superposition pairing, the per-light pipeline, and the
+    streaming store's cross-partner cache invalidation.  This is the
+    single definition they all share.
+    """
+    iid, approach = key
+    return (iid, Approach.EW if approach == Approach.NS else Approach.NS)
 
 
 @dataclass

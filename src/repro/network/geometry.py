@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from .._util import check_in_range
 
@@ -73,7 +74,9 @@ class LocalFrame:
         """Meters of easting per degree of longitude at the origin."""
         return self.meters_per_deg_lat * float(np.cos(np.deg2rad(self.origin_lat)))
 
-    def to_local(self, lon, lat) -> Tuple[np.ndarray, np.ndarray]:
+    def to_local(
+        self, lon: npt.ArrayLike, lat: npt.ArrayLike
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Convert geographic degrees to local (x, y) meters; vectorized."""
         lon = np.asarray(lon, dtype=float)
         lat = np.asarray(lat, dtype=float)
@@ -81,7 +84,9 @@ class LocalFrame:
         y = (lat - self.origin_lat) * self.meters_per_deg_lat
         return x, y
 
-    def to_geographic(self, x, y) -> Tuple[np.ndarray, np.ndarray]:
+    def to_geographic(
+        self, x: npt.ArrayLike, y: npt.ArrayLike
+    ) -> Tuple[np.ndarray, np.ndarray]:
         """Convert local (x, y) meters back to (lon, lat) degrees."""
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float)
@@ -90,7 +95,7 @@ class LocalFrame:
         return lon, lat
 
 
-def heading_of_vector(dx, dy):
+def heading_of_vector(dx: npt.ArrayLike, dy: npt.ArrayLike) -> np.ndarray:
     """Heading (deg clockwise from north) of displacement ``(dx, dy)``.
 
     ``(0, 1)`` (due north) → 0; ``(1, 0)`` (due east) → 90.  Vectorized.
@@ -99,19 +104,28 @@ def heading_of_vector(dx, dy):
     return np.mod(ang, 360.0)
 
 
-def unit_vector_of_heading(heading_deg) -> Tuple[np.ndarray, np.ndarray]:
+def unit_vector_of_heading(
+    heading_deg: npt.ArrayLike,
+) -> Tuple[np.ndarray, np.ndarray]:
     """Inverse of :func:`heading_of_vector`: unit (dx, dy) for a heading."""
     rad = np.deg2rad(np.asarray(heading_deg, dtype=float))
     return np.sin(rad), np.cos(rad)
 
 
-def heading_difference(a, b):
+def heading_difference(a: npt.ArrayLike, b: npt.ArrayLike) -> np.ndarray:
     """Absolute angular difference between two headings, in ``[0, 180]``."""
     d = np.abs(np.mod(np.asarray(a, float) - np.asarray(b, float) + 180.0, 360.0) - 180.0)
     return d
 
 
-def project_onto_segment(px, py, ax, ay, bx, by):
+def project_onto_segment(
+    px: npt.ArrayLike,
+    py: npt.ArrayLike,
+    ax: npt.ArrayLike,
+    ay: npt.ArrayLike,
+    bx: npt.ArrayLike,
+    by: npt.ArrayLike,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Project points onto segment ``A→B``.
 
     Returns ``(t, qx, qy)`` where ``t`` is the clamped arc parameter in
@@ -131,7 +145,14 @@ def project_onto_segment(px, py, ax, ay, bx, by):
     return t, ax + t * vx, ay + t * vy
 
 
-def point_segment_distance(px, py, ax, ay, bx, by):
+def point_segment_distance(
+    px: npt.ArrayLike,
+    py: npt.ArrayLike,
+    ax: npt.ArrayLike,
+    ay: npt.ArrayLike,
+    bx: npt.ArrayLike,
+    by: npt.ArrayLike,
+) -> np.ndarray:
     """Euclidean distance from points to segment ``A→B``; vectorized."""
     _, qx, qy = project_onto_segment(px, py, ax, ay, bx, by)
     return np.hypot(np.asarray(px, float) - qx, np.asarray(py, float) - qy)

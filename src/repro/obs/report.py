@@ -38,7 +38,13 @@ from typing import Any, Dict, Iterator, List, Optional, Union
 
 from .telemetry import StageTelemetry
 
-__all__ = ["ChunkStats", "LightFailure", "RunReport", "format_light_key"]
+__all__ = [
+    "ChunkStats",
+    "LightFailure",
+    "RunReport",
+    "ShardStats",
+    "format_light_key",
+]
 
 
 def format_light_key(key: Any) -> str:
@@ -155,6 +161,67 @@ class ChunkStats:
         )
 
 
+@dataclass(frozen=True)
+class ShardStats:
+    """Observability record of one sharded-backend work unit.
+
+    The shard backend's two claims — balanced shards and zero-copy
+    dispatch — are auditable from these records alone: ``n_records``
+    should be near-uniform across shards, and ``common_bytes`` (the
+    pickled size of the store handle each worker received) stays at
+    metadata scale no matter how large the city's columns are, because
+    the column data travels via mmap-backed files instead.
+
+    Attributes
+    ----------
+    shard_index:
+        0-based position in the shard fan-out.
+    n_lights:
+        Lights the shard carried.
+    n_records:
+        Store rows backing those lights (the balance weight).
+    n_ok:
+        Lights that produced an estimate.
+    n_failed:
+        Lights that landed in the failure map.
+    wall_s:
+        Worker-side wall time for the shard, seconds.
+    common_bytes:
+        Bytes of the shared store handle shipped to the worker.
+    """
+
+    shard_index: int
+    n_lights: int
+    n_records: int
+    n_ok: int
+    n_failed: int
+    wall_s: float
+    common_bytes: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "shard_index": self.shard_index,
+            "n_lights": self.n_lights,
+            "n_records": self.n_records,
+            "n_ok": self.n_ok,
+            "n_failed": self.n_failed,
+            "wall_s": self.wall_s,
+            "common_bytes": self.common_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ShardStats":
+        return cls(
+            shard_index=int(d["shard_index"]),
+            n_lights=int(d["n_lights"]),
+            n_records=int(d["n_records"]),
+            n_ok=int(d["n_ok"]),
+            n_failed=int(d["n_failed"]),
+            wall_s=float(d["wall_s"]),
+            common_bytes=int(d["common_bytes"]),
+        )
+
+
 @dataclass
 class RunReport:
     """Aggregated observability record of one (or many) fan-out runs.
@@ -173,12 +240,17 @@ class RunReport:
     telemetry: StageTelemetry = field(default_factory=StageTelemetry)
     failures: Dict[str, LightFailure] = field(default_factory=dict)
     chunks: List[ChunkStats] = field(default_factory=list)
+    shards: List[ShardStats] = field(default_factory=list)
 
     # -- aggregation -------------------------------------------------
 
     def record_chunk(self, stats: ChunkStats) -> None:
         """Fold one streaming ingest step's :class:`ChunkStats` in."""
         self.chunks.append(stats)
+
+    def record_shard(self, stats: ShardStats) -> None:
+        """Fold one sharded-backend work unit's :class:`ShardStats` in."""
+        self.shards.append(stats)
 
     def record_light(
         self,
@@ -276,11 +348,17 @@ class RunReport:
                 key: f.to_dict() for key, f in sorted(self.failures.items())
             },
             "failure_taxonomy": self.failure_taxonomy(),
-            # Optional section: present only for streaming-backend runs,
-            # so one-shot reports keep the exact v1 document shape.
+            # Optional sections: present only for streaming- or
+            # shard-backend runs, so one-shot reports keep the exact v1
+            # document shape.
             **(
                 {"chunks": [c.to_dict() for c in self.chunks]}
                 if self.chunks
+                else {}
+            ),
+            **(
+                {"shards": [s.to_dict() for s in self.shards]}
+                if self.shards
                 else {}
             ),
         }
@@ -314,6 +392,7 @@ class RunReport:
                 for key, f in d.get("failures", {}).items()
             },
             chunks=[ChunkStats.from_dict(c) for c in d.get("chunks", [])],
+            shards=[ShardStats.from_dict(s) for s in d.get("shards", [])],
         )
 
     @classmethod

@@ -23,10 +23,12 @@ to report.
 from __future__ import annotations
 
 import os
+import pickle
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +38,7 @@ __all__ = [
     "pmap",
     "pmap_seeded",
     "default_workers",
+    "payload_nbytes",
     "WorkerError",
     "get_common",
     "run_guarded",
@@ -59,10 +62,41 @@ def get_common() -> Any:
     ``pmap(..., common=obj)`` pickles ``obj`` **once per worker
     process** (via the executor initializer) instead of once per work
     item; worker functions retrieve it here.  ``None`` outside a
-    ``common``-carrying map.  The serial path installs and restores the
-    same global, so worker code is identical either way.
+    ``common``-carrying map — both dispatch paths install the slot for
+    exactly the duration of the map (the serial path snapshots and
+    restores it, the pool path re-initializes every worker), so a
+    value left over from an earlier run is never visible.
     """
     return _WORKER_COMMON
+
+
+@contextmanager
+def _installed_common(value: Any) -> Iterator[None]:
+    """Install *value* as the worker-common slot for one serial dispatch.
+
+    The snapshot/restore is unconditional — it runs for ``None`` too,
+    and the ``finally`` overwrites whatever the dispatched function left
+    behind — so a worker that raises mid-map, or one that scribbles on
+    the slot itself, cannot leak another run's store into the next
+    ``pmap`` call.
+    """
+    previous = _WORKER_COMMON
+    _set_common(value)
+    try:
+        yield
+    finally:
+        _set_common(previous)
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Bytes *obj* ships across one process boundary (its pickled size).
+
+    The sharded backend's zero-copy contract is stated in these terms:
+    a spilled :class:`~repro.trace.store.PartitionStore` must pickle to
+    metadata + file paths — never column data — and
+    ``pmap(common_bytes_limit=...)`` enforces it at dispatch time.
+    """
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 @dataclass(frozen=True)
@@ -110,14 +144,25 @@ def _available_cpus() -> int:
 def default_workers(max_workers: Optional[int] = None) -> int:
     """Worker count: ``max_workers`` if given, else available CPUs capped at 8.
 
-    The cap keeps test/bench runs polite on shared machines while still
-    exercising real multi-process execution.
+    An explicit ``max_workers`` must be an integral count ≥ 1 — zero,
+    negatives, bools, and non-integral values raise here instead of
+    silently spawning a broken pool downstream.  The derived default is
+    clamped to ≥ 1 so a degenerate affinity mask can never produce an
+    empty pool.  The cap keeps test/bench runs polite on shared
+    machines while still exercising real multi-process execution.
     """
     if max_workers is not None:
+        if isinstance(max_workers, bool) or not isinstance(
+            max_workers, (int, np.integer)
+        ):
+            raise TypeError(
+                f"max_workers must be an integer, "
+                f"got {type(max_workers).__name__}"
+            )
         if max_workers < 1:
-            raise ValueError("max_workers must be >= 1")
-        return max_workers
-    return min(_available_cpus(), 8)
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        return int(max_workers)
+    return max(1, min(_available_cpus(), 8))
 
 
 def _chunks(items: Sequence, n_chunks: int) -> List[Sequence]:
@@ -193,6 +238,7 @@ def pmap(
     serial: bool = False,
     on_error: str = "raise",
     common: Any = None,
+    common_bytes_limit: Optional[int] = None,
 ) -> List:
     """Parallel ``[func(x) for x in items]`` preserving order.
 
@@ -220,28 +266,38 @@ def pmap(
         it back with :func:`get_common`.  Used to share a
         :class:`~repro.trace.store.PartitionStore` across a citywide
         fan-out.  Identical semantics serial or parallel.
+    common_bytes_limit:
+        Optional ceiling on the **pickled size** of ``common``; a
+        larger payload raises ``ValueError`` before any dispatch.  This
+        is the zero-copy guard of the sharded backend: a spilled store
+        handle stays at metadata scale, so tripping the limit means
+        column bytes leaked back into the per-worker pickle.  Checked
+        on the serial path too — identical semantics either way.
     """
     _check_on_error(on_error)
     items = list(items)
     if not items:
         return []
+    if common is not None and common_bytes_limit is not None:
+        shipped = payload_nbytes(common)
+        if shipped > common_bytes_limit:
+            raise ValueError(
+                f"common object pickles to {shipped:,} bytes, over the "
+                f"{common_bytes_limit:,}-byte limit — spill the store "
+                "to mmap-backed columns before fanning out"
+            )
     workers = default_workers(max_workers)
     if serial or workers == 1 or len(items) == 1:
-        if common is None:
+        with _installed_common(common):
             return _fill_indices(_apply_chunk(func, items, on_error))
-        previous = get_common()
-        _set_common(common)
-        try:
-            return _fill_indices(_apply_chunk(func, items, on_error))
-        finally:
-            _set_common(previous)
     chunks = _chunks(items, workers * chunks_per_worker)
-    init_kwargs = (
-        {} if common is None
-        else {"initializer": _set_common, "initargs": (common,)}
-    )
     results: List[List] = []
-    with ProcessPoolExecutor(max_workers=workers, **init_kwargs) as ex:
+    # The initializer runs for common=None as well: with a fork start
+    # method a fresh worker would otherwise inherit whatever slot value
+    # the parent had installed, violating get_common()'s contract.
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_set_common, initargs=(common,)
+    ) as ex:
         for part in ex.map(
             _apply_chunk, [func] * len(chunks), chunks, [on_error] * len(chunks)
         ):
@@ -272,10 +328,15 @@ def pmap_seeded(
     indexed = list(enumerate(items))
     workers = default_workers(max_workers)
     if serial or workers == 1 or len(items) == 1:
-        return _fill_indices(_apply_chunk_seeded(func, indexed, base_seed, on_error))
+        with _installed_common(None):
+            return _fill_indices(
+                _apply_chunk_seeded(func, indexed, base_seed, on_error)
+            )
     chunks = _chunks(indexed, workers * chunks_per_worker)
     results: List[List] = []
-    with ProcessPoolExecutor(max_workers=workers) as ex:
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_set_common, initargs=(None,)
+    ) as ex:
         for part in ex.map(
             _apply_chunk_seeded,
             [func] * len(chunks),

@@ -97,7 +97,18 @@ class StreamSession:
     report:
         Optional :class:`~repro.obs.report.RunReport`; per-chunk
         :class:`~repro.obs.report.ChunkStats` and per-light telemetry
-        fold into it.
+        fold into it (plus per-shard
+        :class:`~repro.obs.report.ShardStats` under the shard backend).
+    backend:
+        How stale lights are re-identified: ``"batched"`` (default)
+        runs :func:`repro.core.batch.identify_batch` in-process;
+        ``"shard"`` fans the stale set out over
+        :func:`repro.core.shard.identify_shard` — bit-for-bit the same
+        estimates, worthwhile when refreshes dirty large slices of a
+        large city (each refresh spills/restores the column store, so
+        tiny dirty sets are better served batched).
+    max_workers:
+        Worker processes for the shard backend (default: CPU count).
     """
 
     def __init__(
@@ -107,11 +118,19 @@ class StreamSession:
         store: Optional[Mapping[LightKey, LightPartition]] = None,
         monitor: bool = True,
         report: Optional[RunReport] = None,
+        backend: str = "batched",
+        max_workers: Optional[int] = None,
     ) -> None:
+        if backend not in ("batched", "shard"):
+            raise ValueError(
+                f"session backend must be 'batched' or 'shard', got {backend!r}"
+            )
         self.config = PipelineConfig() if config is None else config
         self.stream = StreamStore(store)
         self.monitor = monitor
         self.report = report
+        self.backend = backend
+        self.max_workers = max_workers
         self._chunk_index = 0
         self._last_at_time: Optional[float] = None
         self._results: Dict[LightKey, _CacheEntry] = {}
@@ -189,15 +208,31 @@ class StreamSession:
     def _refresh(
         self, at_time: float, keys: Optional[Sequence[LightKey]]
     ) -> FrozenSet[LightKey]:
-        """Re-identify stale lights; returns the set actually re-run."""
+        """Re-identify stale lights; returns the set actually re-run.
+
+        Both backends evaluate the stale subset through the same
+        row-wise-exact kernels, so the session's replay-parity contract
+        is backend-independent.
+        """
         from ..core.batch import identify_batch
 
         stale = self._stale_keys(at_time, keys)
         if not stale:
             return frozenset()
-        b_est, b_fail, tels = identify_batch(
-            self.store, at_time, config=self.config, keys=stale
-        )
+        if self.backend == "shard":
+            from ..core.shard import identify_shard
+
+            b_est, b_fail, tels, shard_stats = identify_shard(
+                self.store, at_time, config=self.config, keys=stale,
+                max_workers=self.max_workers,
+            )
+            if self.report is not None:
+                for stats in shard_stats:
+                    self.report.record_shard(stats)
+        else:
+            b_est, b_fail, tels = identify_batch(
+                self.store, at_time, config=self.config, keys=stale
+            )
         for key in stale:
             self._results[key] = (
                 self.stream.version(key),

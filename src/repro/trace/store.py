@@ -30,6 +30,9 @@ Extraction semantics are bit-identical to the per-partition code paths
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
+from contextlib import contextmanager
 from typing import (
     TYPE_CHECKING,
     AbstractSet,
@@ -263,10 +266,15 @@ class PartitionStore:
             offsets[i + 1] = offsets[i] + cols_k["t"].shape[0]
             for name in _ALL_COLUMNS:
                 pieces[name].append(np.asarray(cols_k[name]))
+        previous_dir = self._mmap_dir
         self._regular_keys = list(new_keys)
         self._offsets = offsets
         self._columns = {name: _concat(pieces[name]) for name in _ALL_COLUMNS}
         self._mmap_dir = None
+        if previous_dir is not None:
+            # the on-disk columns no longer match the spliced rows;
+            # leaving them behind would let a later reload serve stale data
+            _remove_column_files(previous_dir)
 
     def invalidate_light(self, key: LightKey, *, derived_only: bool = False) -> None:
         """Drop one light's cached state, leaving every other light's intact.
@@ -310,12 +318,61 @@ class PartitionStore:
 
         After this, pickling the store ships only metadata + file paths
         and every process re-opens the same pages read-only.
+
+        Idempotent: re-spilling to the directory already backing the
+        store is a no-op, and spilling an already-spilled store to a
+        *different* directory rewrites the columns there and deletes the
+        old directory's column files — ``_mmap_dir`` never points at
+        stale state and no orphaned ``.npy`` files accumulate.
         """
+        mmap_dir = os.path.abspath(mmap_dir)
+        previous = self._mmap_dir
+        if previous == mmap_dir:
+            return
         os.makedirs(mmap_dir, exist_ok=True)
-        assert self._columns is not None
-        for name, col in self._columns.items():
+        # `columns` (not `_columns`): an already-spilled store may have
+        # lazily dropped its arrays, and the property reloads them.
+        for name, col in self.columns.items():
             np.save(os.path.join(mmap_dir, f"{name}.npy"), col)
         self._swap_backing(None, mmap_dir)  # reload lazily, memory-mapped
+        if previous is not None:
+            _remove_column_files(previous)
+
+    @contextmanager
+    def spilled(self, mmap_dir: Optional[str] = None) -> Iterator["PartitionStore"]:
+        """Temporarily back the columns with on-disk ``.npy`` maps.
+
+        Spills to *mmap_dir* (default: a fresh temporary directory) and
+        yields the store itself — which now pickles as a lightweight
+        handle (metadata + file paths, zero column bytes), the seam the
+        sharded backend fans out over.  On exit the original in-memory
+        arrays are swapped back and the spill files are removed (the
+        whole temporary directory when this call created it).
+
+        A store that was already spilled is yielded as-is and left
+        spilled — its caller owns the lifecycle.  The restore is also
+        skipped when the backing changed underneath (e.g. an
+        :meth:`append_partitions` inside the context pulled the store
+        back in-memory): the fresher rows win over the snapshot.
+        """
+        if self._mmap_dir is not None:
+            yield self
+            return
+        original = self._columns
+        own_dir = mmap_dir is None
+        target = tempfile.mkdtemp(prefix="repro-store-") if own_dir else mmap_dir
+        assert target is not None
+        self.spill_to(target)
+        token = self._mmap_dir  # the normalized path spill_to recorded
+        try:
+            yield self
+        finally:
+            if self._mmap_dir == token and original is not None:
+                self._swap_backing(original, None)
+                if own_dir:
+                    shutil.rmtree(token, ignore_errors=True)
+                else:
+                    _remove_column_files(token)
 
     @property
     def columns(self) -> Dict[str, np.ndarray]:
@@ -384,6 +441,23 @@ class PartitionStore:
     @property
     def n_records(self) -> int:
         return int(self._offsets[-1])
+
+    @property
+    def columns_nbytes(self) -> int:
+        """Total bytes of the column arrays — what a full (unspilled)
+        pickle would ship to every worker."""
+        return int(sum(int(col.nbytes) for col in self.columns.values()))
+
+    def light_n_records(self, key: LightKey) -> int:
+        """Rows held for *key*: the columnar range for regular lights,
+        the pass-through partition's own record count for quarantined
+        ones (0 when even that is unmeasurable).  The sharded backend
+        balances its shards on these weights."""
+        if key in self._irregular:
+            n = run_guarded(len, self._irregular[key])
+            return 0 if isinstance(n, WorkerError) else int(n)
+        i = self._index[key]
+        return int(self._offsets[i + 1] - self._offsets[i])
 
     # ------------------------------------------------------------------
     # Cached per-light views
@@ -494,6 +568,19 @@ def _is_regular(partition: "LightPartition") -> bool:
     fails is quarantined onto the serial path rather than trusted.
     """
     return run_guarded(_probe_regular, partition) is True
+
+
+def _remove_column_files(mmap_dir: str) -> None:
+    """Best-effort removal of a directory's spilled column files.
+
+    Only the store's own ``<column>.npy`` files are touched — the
+    directory itself may be caller-owned and is left in place.
+    """
+    for name in _ALL_COLUMNS:
+        try:
+            os.unlink(os.path.join(mmap_dir, f"{name}.npy"))
+        except OSError:
+            pass  # already gone, or the directory vanished with it
 
 
 def _concat(parts: List[np.ndarray]) -> np.ndarray:

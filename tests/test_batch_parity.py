@@ -86,6 +86,25 @@ class TestBackendParity:
         out = identify_many(store, 5400.0, backend="process", max_workers=2)
         _assert_parity(ref, out, "process+store")
 
+    def test_shard_matches_serial_bitwise(self, partitions):
+        ref = identify_many(partitions, 5400.0, serial=True)
+        out = identify_many(partitions, 5400.0, backend="shard", max_workers=1)
+        _assert_parity(ref, out, "shard")
+
+    def test_shard_accepts_store_or_dict(self, partitions):
+        store = PartitionStore.from_partitions(partitions)
+        from_dict = identify_many(
+            partitions, 5400.0, backend="shard", max_workers=1
+        )
+        from_store = identify_many(store, 5400.0, backend="shard", max_workers=1)
+        _assert_parity(from_dict, from_store, "store-backed shard")
+
+    @pytest.mark.slow
+    def test_shard_pool_matches_serial(self, partitions):
+        ref = identify_many(partitions, 5400.0, serial=True)
+        out = identify_many(partitions, 5400.0, backend="shard", max_workers=2)
+        _assert_parity(ref, out, "shard@2w")
+
     def test_unknown_backend_rejected(self, partitions):
         with pytest.raises(ValueError, match="backend"):
             identify_many(partitions, 5400.0, backend="gpu")
@@ -104,12 +123,23 @@ class TestPoisonedCityParity:
         # containment: the poison costs exactly the poisoned lights
         assert len(out[0]) + len(out[1]) == len(city)
 
+        out_shard = identify_many(city, 5400.0, backend="shard", max_workers=1)
+        _assert_parity(ref, out_shard, "shard/poisoned")
+        assert len(out_shard[0]) + len(out_shard[1]) == len(city)
+
     @pytest.mark.slow
     def test_poisoned_city_process_pool(self, partitions):
         city, _bad_key, _dead_key = _poisoned_city(partitions)
         ref = identify_many(city, 5400.0, serial=True)
         out = identify_many(city, 5400.0, backend="process", max_workers=2)
         _assert_parity(ref, out, "process/poisoned")
+
+    @pytest.mark.slow
+    def test_poisoned_city_shard_pool(self, partitions):
+        city, _bad_key, _dead_key = _poisoned_city(partitions)
+        ref = identify_many(city, 5400.0, serial=True)
+        out = identify_many(city, 5400.0, backend="shard", max_workers=2)
+        _assert_parity(ref, out, "shard@2w/poisoned")
 
 
 class TestStoreReuse:

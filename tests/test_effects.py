@@ -391,6 +391,26 @@ class TestStoreCoherence:
         assert rep007, "removing invalidate_light must trip REP007"
         assert any("append_partitions" in f.message for f in rep007)
 
+    def test_spill_bypassing_swap_backing_fires(self):
+        """Spill canary: writing the backing fields directly instead of
+        going through the sanctioned ``_swap_backing`` trips REP007."""
+        files = []
+        sanctioned = "self._swap_backing(None, mmap_dir)  # reload lazily, memory-mapped"
+        for path in iter_python_files([str(REPO_ROOT / "src")]):
+            source = Path(path).read_text(encoding="utf-8")
+            rel = os.path.relpath(path, REPO_ROOT)
+            if rel == os.path.join("src", "repro", "trace", "store.py"):
+                assert sanctioned in source
+                source = source.replace(
+                    sanctioned,
+                    "self._columns = None\n        self._mmap_dir = mmap_dir",
+                )
+            files.append((rel, source))
+        findings = lint_sources(files)
+        rep007 = [f for f in findings if f.rule == "REP007"]
+        assert rep007, "bypassing _swap_backing in spill_to must trip REP007"
+        assert any("spill_to" in f.message for f in rep007)
+
 
 # ----------------------------------------------------------------------
 # REP008 — worker escapes and shared fixtures

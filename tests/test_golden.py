@@ -92,6 +92,33 @@ class TestGoldenFixtures:
             expected["failures"]
         )
 
+    @pytest.mark.parametrize("name", sorted(_BY_NAME))
+    def test_shard_backend_matches_fixture_exactly(self, name, golden_partitions):
+        """Zero-copy sharding must not move a single committed bit."""
+        from repro.core import identify_many
+
+        spec = _BY_NAME[name]
+        expected = load_fixture(spec)
+        parts = golden_partitions(spec)
+        estimates, failures = identify_many(
+            parts, spec.at_time, backend="shard", max_workers=1
+        )
+        got = {
+            f"{iid}:{app}": {
+                "cycle_s": est.cycle_s,
+                "red_s": est.red_s,
+                "green_s": est.green_s,
+                "offset_s": est.schedule.offset_s,
+                "red_to_green_s": est.change.red_to_green_s,
+                "green_to_red_s": est.change.green_to_red_s,
+            }
+            for (iid, app), est in estimates.items()
+        }
+        assert json.loads(json.dumps(got)) == expected["estimates"]
+        assert sorted(f"{i}:{a}" for i, a in failures) == sorted(
+            expected["failures"]
+        )
+
     def test_fixture_floats_roundtrip_exactly(self):
         """The storage format itself cannot lose precision."""
         for spec in GOLDEN_SCENARIOS:

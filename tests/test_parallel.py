@@ -5,7 +5,14 @@ import os
 import numpy as np
 import pytest
 
-from repro.parallel.pool import WorkerError, default_workers, pmap, pmap_seeded
+from repro.parallel import pool
+from repro.parallel.pool import (
+    WorkerError,
+    default_workers,
+    get_common,
+    pmap,
+    pmap_seeded,
+)
 
 # Process pools dominate this module's runtime; the fast CI tier skips it.
 pytestmark = pytest.mark.slow
@@ -29,6 +36,10 @@ def fail_on_odd_seeded(x, rng):
     if x % 2:
         raise ValueError(f"odd {x}")
     return x * 10, int(rng.integers(1_000_000))
+
+
+def report_common(x):
+    return get_common()
 
 
 def normalize(results):
@@ -118,6 +129,26 @@ class TestPmapOnError:
         assert normalize(a) == normalize(b)
         # even items carry real seeded draws, identical across modes
         assert a[2] == b[2] and isinstance(a[2], tuple)
+
+
+class TestCommonSlotAcrossProcesses:
+    """Pool-path counterparts of ``tests/test_pool_guards.py``."""
+
+    def test_pool_common_roundtrip(self):
+        out = pmap(report_common, range(6), max_workers=2, common={"k": 1})
+        assert out == [{"k": 1}] * 6
+        assert get_common() is None
+
+    def test_workers_see_none_without_common(self):
+        # With a fork start method, workers inherit the parent's globals;
+        # the initializer must reset the slot even when no common rides
+        # along, or a stale store from an earlier run stays visible.
+        pool._set_common("stale-from-parent")
+        try:
+            out = pmap(report_common, range(8), max_workers=2)
+        finally:
+            pool._set_common(None)
+        assert out == [None] * 8
 
 
 class TestPmapSeeded:

@@ -1,0 +1,100 @@
+"""Serving-layer latency-SLO bench — thousands of interleaved ops.
+
+Replays >= 8 synthetic city tenants through one ``StreamService`` on a
+single event loop: per tenant a producer streams time-sliced chunks
+through the bounded ingest queue while a consumer fires advisory
+queries paced on snapshot freshness — thousands of interleaved ingests
+and evaluates.  Three claims are pinned:
+
+* **latency SLO** — advisory reads are lock-free snapshot loads, so
+  p50/p99 stay in single-digit milliseconds no matter how many tenants
+  are mid-re-identification;
+* **zero isolation violations** — no reader ever observes a version
+  going backwards, a torn snapshot map, or (checked post-hoc,
+  bit-for-bit) an estimate a fresh batched rebuild would not produce;
+* **ingest parity** — writer-side apply cost stays within 10 % of a
+  bare single-tenant ``StreamSession`` replaying identical chunks (the
+  service adds queueing and snapshot publication, not kernel work).
+
+Knobs: ``REPRO_SERVE_BENCH_TENANTS`` overrides the tenant count and
+``REPRO_SERVE_BENCH_JSON`` writes the measured numbers as a JSON
+artifact (used by the non-blocking CI slow job).
+"""
+
+import json
+import os
+
+from conftest import banner
+from repro.serve import LoadSpec, run_load
+
+P50_SLO_S = 0.005
+P99_SLO_S = 0.050
+OVERHEAD_CEILING = 1.10
+
+
+def _n_tenants():
+    env = os.environ.get("REPRO_SERVE_BENCH_TENANTS")
+    return max(1, int(env)) if env is not None else 8
+
+
+def test_serve_latency_slo():
+    n_tenants = _n_tenants()
+    spec = LoadSpec(
+        n_tenants=n_tenants,
+        intersections_per_tenant=4,
+        n_chunks=24,
+        evaluates_per_chunk=10,
+        queue_depth=8,
+        seed=7,
+    )
+    banner(
+        f"Serving SLO ({spec.n_tenants} tenants, "
+        f"{spec.n_chunks} chunks x {2 * spec.intersections_per_tenant} "
+        f"lights each)"
+    )
+    result = run_load(spec)
+    for line in result.summary().splitlines():
+        print(f"  {line}")
+    n_ops = result.n_ingests + result.n_evaluates
+    print(f"  total interleaved operations: {n_ops}")
+
+    out_path = os.environ.get("REPRO_SERVE_BENCH_JSON")
+    if out_path:
+        payload = result.to_dict()
+        payload["slo"] = {
+            "p50_s": P50_SLO_S,
+            "p99_s": P99_SLO_S,
+            "overhead_ceiling": OVERHEAD_CEILING,
+        }
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"  wrote {out_path}")
+
+    assert n_ops > 1000, "the bench must interleave thousands of operations"
+    assert result.n_evaluates == (
+        spec.n_tenants * spec.n_chunks * spec.evaluates_per_chunk
+    )
+    # snapshot isolation: absolute, not statistical
+    assert result.stale_violations == 0, "a reader saw a version go backwards"
+    assert result.torn_violations == 0, "a reader saw a torn snapshot map"
+    assert result.parity_mismatches == 0, (
+        "a published estimate diverged from a fresh batched rebuild"
+    )
+    # latency SLO on the advisory-read path
+    assert result.evaluate_p50_s <= P50_SLO_S, (
+        f"evaluate p50 {1e3 * result.evaluate_p50_s:.3f} ms over the "
+        f"{1e3 * P50_SLO_S:.0f} ms SLO"
+    )
+    assert result.evaluate_p99_s <= P99_SLO_S, (
+        f"evaluate p99 {1e3 * result.evaluate_p99_s:.3f} ms over the "
+        f"{1e3 * P99_SLO_S:.0f} ms SLO"
+    )
+    # writer-side throughput parity with the bare session
+    assert result.ingest_overhead <= OVERHEAD_CEILING, (
+        f"service apply cost is {result.ingest_overhead:.2f}x the bare "
+        f"session (ceiling {OVERHEAD_CEILING}x)"
+    )
+    # the queue never ballooned past its configured bound
+    assert all(
+        s.queue_high_water <= spec.queue_depth for s in result.tenant_stats
+    )

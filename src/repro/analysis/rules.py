@@ -823,6 +823,7 @@ class StrictFrontierRule(ProgramRule):
         "repro.network.geometry",
         "repro.obs", "repro.obs.*",
         "repro.parallel", "repro.parallel.*",
+        "repro.serve", "repro.serve.*",
         "repro.stream", "repro.stream.*",
         "repro.trace", "repro.trace.*",
     )

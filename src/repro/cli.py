@@ -14,6 +14,10 @@ Four subcommands cover the pipeline end-to-end without writing Python:
 * ``repro stream`` — replay a trace chunk-by-chunk through the
   incremental backend, printing per-chunk dirty/refresh accounting and
   online plan-change detections;
+* ``repro serve-bench`` — load the multi-tenant async serving layer
+  with interleaved ingests and advisory queries across N synthetic
+  city tenants, audit snapshot isolation, and check the reader-latency
+  SLOs (non-zero exit on violation);
 * ``repro navigate`` — run the Fig. 16 navigation comparison.
 
 Example session::
@@ -124,6 +128,31 @@ def build_parser() -> argparse.ArgumentParser:
     strm.add_argument("--report", metavar="PATH", default=None,
                       help="write the RunReport JSON (incl. per-chunk "
                            "ingest stats) to PATH")
+
+    srv = sub.add_parser(
+        "serve-bench",
+        help="latency-SLO load run of the multi-tenant serving layer",
+    )
+    srv.add_argument("--tenants", type=int, default=8,
+                     help="concurrent city tenants")
+    srv.add_argument("--chunks", type=int, default=24,
+                     help="replay chunks per tenant")
+    srv.add_argument("--intersections", type=int, default=4,
+                     help="intersections per tenant (2 lights each)")
+    srv.add_argument("--evaluates-per-chunk", type=int, default=6,
+                     help="SLO-timed advisory queries per published version")
+    srv.add_argument("--queue-depth", type=int, default=8,
+                     help="bounded ingest queue capacity per tenant")
+    srv.add_argument("--seed", type=int, default=7)
+    srv.add_argument("--p50-slo-ms", type=float, default=5.0,
+                     help="advisory-read p50 SLO, milliseconds")
+    srv.add_argument("--p99-slo-ms", type=float, default=50.0,
+                     help="advisory-read p99 SLO, milliseconds")
+    srv.add_argument("--json", metavar="PATH", default=None,
+                     help="write the measured numbers as JSON to PATH")
+    srv.add_argument("--report", metavar="PATH", default=None,
+                     help="write the RunReport JSON (one ServiceStats "
+                          "per tenant) to PATH")
 
     nav = sub.add_parser("navigate", help="Fig. 16 navigation comparison")
     nav.add_argument("--cols", type=int, default=6)
@@ -367,6 +396,55 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from .obs import RunReport
+    from .serve import LoadSpec, run_load
+
+    spec = LoadSpec(
+        n_tenants=args.tenants,
+        intersections_per_tenant=args.intersections,
+        n_chunks=args.chunks,
+        evaluates_per_chunk=args.evaluates_per_chunk,
+        queue_depth=args.queue_depth,
+        seed=args.seed,
+    )
+    print(f"loading {spec.n_tenants} tenants x {spec.n_chunks} chunks "
+          f"({2 * spec.intersections_per_tenant} lights each, "
+          f"{spec.evaluates_per_chunk} advisory queries per version) ...")
+    report = RunReport() if args.report else None
+    result = run_load(spec, report=report)
+    print(result.summary())
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(result.to_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
+    if report is not None:
+        report.save(args.report)
+        print(f"wrote run report to {args.report}")
+
+    failed = []
+    if result.isolation_violations:
+        failed.append(f"{result.isolation_violations} isolation violation(s)")
+    if result.evaluate_p50_s > args.p50_slo_ms / 1e3:
+        failed.append(
+            f"p50 {1e3 * result.evaluate_p50_s:.3f} ms > "
+            f"{args.p50_slo_ms:g} ms SLO"
+        )
+    if result.evaluate_p99_s > args.p99_slo_ms / 1e3:
+        failed.append(
+            f"p99 {1e3 * result.evaluate_p99_s:.3f} ms > "
+            f"{args.p99_slo_ms:g} ms SLO"
+        )
+    if failed:
+        print("SLO FAILED: " + "; ".join(failed))
+        return 1
+    print("SLOs met")
+    return 0
+
+
 def _cmd_navigate(args) -> int:
     from .navigation import NavScenario, run_navigation_experiment
 
@@ -396,6 +474,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": _cmd_evaluate,
         "monitor": _cmd_monitor,
         "stream": _cmd_stream,
+        "serve-bench": _cmd_serve_bench,
         "navigate": _cmd_navigate,
     }
     return handlers[args.command](args)

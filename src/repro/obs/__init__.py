@@ -8,13 +8,21 @@ See :class:`StageTelemetry` (per-light accumulator),
 :class:`RunReport` (aggregated, JSON-exportable run record).
 """
 
-from .report import ChunkStats, LightFailure, RunReport, ShardStats, format_light_key
+from .report import (
+    ChunkStats,
+    LightFailure,
+    RunReport,
+    ServiceStats,
+    ShardStats,
+    format_light_key,
+)
 from .telemetry import StageTelemetry, SupportsCount
 
 __all__ = [
     "ChunkStats",
     "LightFailure",
     "RunReport",
+    "ServiceStats",
     "ShardStats",
     "StageTelemetry",
     "SupportsCount",

@@ -42,6 +42,7 @@ __all__ = [
     "ChunkStats",
     "LightFailure",
     "RunReport",
+    "ServiceStats",
     "ShardStats",
     "format_light_key",
 ]
@@ -222,6 +223,107 @@ class ShardStats:
         )
 
 
+@dataclass(frozen=True)
+class ServiceStats:
+    """Observability record of one serving tenant (``repro.serve``).
+
+    The serving layer's two claims — readers never block ingest, and
+    backpressure instead of unbounded buffering — are auditable from
+    these records: ``evaluate_p99_s`` stays flat as tenants are added
+    (readers only touch published snapshots), and ``queue_high_water``
+    never exceeds the configured ``max_queue_depth``.
+
+    Attributes
+    ----------
+    tenant:
+        Tenant name.
+    n_chunks:
+        Chunks applied and published (the final snapshot version).
+    n_records:
+        Records ingested (summed over chunks).
+    n_evaluates:
+        Completed evaluate calls.
+    n_rejected_ingest:
+        Submits refused by quota (queue full under the reject policy,
+        or the light budget).
+    n_rejected_evaluate:
+        Evaluate calls refused by the in-flight quota.
+    n_dropped_chunks:
+        Queued chunks discarded by a writer crash.
+    queue_high_water:
+        Deepest the ingest queue ever got.
+    ingest_wall_s:
+        Total wall time spent in chunk application proper (the
+        session ingest + snapshot build), seconds — directly
+        comparable to a bare ``StreamSession`` replaying the same
+        chunks (the SLO bench bounds the ratio).
+    ingest_lag_p50_s / ingest_lag_p99_s:
+        Submit-to-publish latency percentiles, seconds.
+    publish_p50_s / publish_p99_s:
+        Dequeue-to-publish latency percentiles, seconds; in offload
+        mode this additionally counts executor queueing behind other
+        tenants' applies.
+    evaluate_p50_s / evaluate_p99_s:
+        Reader-observed evaluate latency percentiles, seconds — the
+        numbers the SLO bench asserts against.
+    """
+
+    tenant: str
+    n_chunks: int
+    n_records: int
+    n_evaluates: int
+    n_rejected_ingest: int
+    n_rejected_evaluate: int
+    n_dropped_chunks: int
+    queue_high_water: int
+    ingest_wall_s: float
+    ingest_lag_p50_s: float
+    ingest_lag_p99_s: float
+    publish_p50_s: float
+    publish_p99_s: float
+    evaluate_p50_s: float
+    evaluate_p99_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "n_chunks": self.n_chunks,
+            "n_records": self.n_records,
+            "n_evaluates": self.n_evaluates,
+            "n_rejected_ingest": self.n_rejected_ingest,
+            "n_rejected_evaluate": self.n_rejected_evaluate,
+            "n_dropped_chunks": self.n_dropped_chunks,
+            "queue_high_water": self.queue_high_water,
+            "ingest_wall_s": self.ingest_wall_s,
+            "ingest_lag_p50_s": self.ingest_lag_p50_s,
+            "ingest_lag_p99_s": self.ingest_lag_p99_s,
+            "publish_p50_s": self.publish_p50_s,
+            "publish_p99_s": self.publish_p99_s,
+            "evaluate_p50_s": self.evaluate_p50_s,
+            "evaluate_p99_s": self.evaluate_p99_s,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ServiceStats":
+        return cls(
+            tenant=str(d["tenant"]),
+            n_chunks=int(d["n_chunks"]),
+            n_records=int(d["n_records"]),
+            n_evaluates=int(d["n_evaluates"]),
+            n_rejected_ingest=int(d["n_rejected_ingest"]),
+            n_rejected_evaluate=int(d["n_rejected_evaluate"]),
+            n_dropped_chunks=int(d["n_dropped_chunks"]),
+            queue_high_water=int(d["queue_high_water"]),
+            ingest_wall_s=float(d["ingest_wall_s"]),
+            ingest_lag_p50_s=float(d["ingest_lag_p50_s"]),
+            ingest_lag_p99_s=float(d["ingest_lag_p99_s"]),
+            publish_p50_s=float(d["publish_p50_s"]),
+            publish_p99_s=float(d["publish_p99_s"]),
+            evaluate_p50_s=float(d["evaluate_p50_s"]),
+            evaluate_p99_s=float(d["evaluate_p99_s"]),
+        )
+
+
 @dataclass
 class RunReport:
     """Aggregated observability record of one (or many) fan-out runs.
@@ -241,6 +343,7 @@ class RunReport:
     failures: Dict[str, LightFailure] = field(default_factory=dict)
     chunks: List[ChunkStats] = field(default_factory=list)
     shards: List[ShardStats] = field(default_factory=list)
+    services: List[ServiceStats] = field(default_factory=list)
 
     # -- aggregation -------------------------------------------------
 
@@ -251,6 +354,10 @@ class RunReport:
     def record_shard(self, stats: ShardStats) -> None:
         """Fold one sharded-backend work unit's :class:`ShardStats` in."""
         self.shards.append(stats)
+
+    def record_service(self, stats: ServiceStats) -> None:
+        """Fold one serving tenant's :class:`ServiceStats` in."""
+        self.services.append(stats)
 
     def record_light(
         self,
@@ -361,6 +468,11 @@ class RunReport:
                 if self.shards
                 else {}
             ),
+            **(
+                {"services": [s.to_dict() for s in self.services]}
+                if self.services
+                else {}
+            ),
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -393,6 +505,7 @@ class RunReport:
             },
             chunks=[ChunkStats.from_dict(c) for c in d.get("chunks", [])],
             shards=[ShardStats.from_dict(s) for s in d.get("shards", [])],
+            services=[ServiceStats.from_dict(s) for s in d.get("services", [])],
         )
 
     @classmethod

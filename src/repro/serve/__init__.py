@@ -1,0 +1,65 @@
+"""Multi-tenant async serving of streaming identification.
+
+:class:`~repro.stream.session.StreamSession` is a single-city,
+single-caller object; this package is the "millions of users" layer on
+top of it: one :class:`StreamService` multiplexes many concurrent city
+tenants on an asyncio event loop, each with
+
+* a **bounded ingest queue** with real backpressure (awaitable
+  ``submit``; explicit full-queue policy) feeding exactly one writer
+  task per tenant,
+* **snapshot-isolated readers** — ``evaluate`` serves the last
+  atomically published immutable :class:`Snapshot` lock-free, so any
+  number of concurrent advisory queries never block ingest and never
+  observe a half-applied chunk,
+* **typed per-tenant quotas** (queue depth, light budget, in-flight
+  evaluates) raised as :class:`QuotaExceeded` subclasses,
+* **per-tenant crash containment** — a poisoned chunk kills one
+  tenant's writer with a typed record; every other tenant keeps
+  serving,
+* :class:`~repro.obs.ServiceStats` telemetry folded into
+  :class:`~repro.obs.RunReport`.
+
+The deterministic concurrency suite (``tests/test_serve.py``,
+``tests/test_serve_isolation.py``) drives the whole protocol on a
+virtual clock with seeded interleavings; ``benchmarks/bench_serve_slo.py``
+replays thousands of interleaved ingests and queries across >= 8
+tenants and asserts p50/p99 latency SLOs with zero isolation
+violations.
+"""
+
+from .errors import (
+    DuplicateTenant,
+    EvaluateOverload,
+    IngestQueueFull,
+    LightQuotaExceeded,
+    QuotaExceeded,
+    ServeError,
+    TenantClosed,
+    TenantCrashed,
+    UnknownTenant,
+)
+from .load import LoadResult, LoadSpec, run_load, verify_snapshot_parity
+from .service import StreamService
+from .snapshot import Snapshot
+from .tenant import Tenant, TenantQuota
+
+__all__ = [
+    "DuplicateTenant",
+    "EvaluateOverload",
+    "IngestQueueFull",
+    "LightQuotaExceeded",
+    "LoadResult",
+    "LoadSpec",
+    "QuotaExceeded",
+    "ServeError",
+    "Snapshot",
+    "StreamService",
+    "Tenant",
+    "TenantClosed",
+    "TenantCrashed",
+    "TenantQuota",
+    "UnknownTenant",
+    "run_load",
+    "verify_snapshot_parity",
+]

@@ -1,0 +1,105 @@
+"""Typed rejections and lifecycle errors of the serving layer.
+
+Every deliberate refusal the service makes — a full ingest queue, a
+tenant over its light budget, too many readers in flight, a dead or
+closed tenant — is a distinct exception type carrying the tenant name,
+so callers can branch on *why* they were turned away instead of parsing
+message strings.  Quota refusals all derive from :class:`QuotaExceeded`
+and carry the configured limit alongside the observed value.
+"""
+
+from __future__ import annotations
+
+from ..parallel.pool import WorkerError
+
+__all__ = [
+    "DuplicateTenant",
+    "EvaluateOverload",
+    "IngestQueueFull",
+    "LightQuotaExceeded",
+    "QuotaExceeded",
+    "ServeError",
+    "TenantClosed",
+    "TenantCrashed",
+    "UnknownTenant",
+]
+
+
+class ServeError(Exception):
+    """Base class of everything :mod:`repro.serve` raises deliberately."""
+
+    def __init__(self, tenant: str, message: str) -> None:
+        super().__init__(f"tenant {tenant!r}: {message}")
+        self.tenant = tenant
+
+
+class UnknownTenant(ServeError):
+    """The service has no tenant under that name."""
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(tenant, "no such tenant")
+
+
+class DuplicateTenant(ServeError):
+    """A tenant under that name already exists."""
+
+    def __init__(self, tenant: str) -> None:
+        super().__init__(tenant, "a tenant with this name already exists")
+
+
+class TenantClosed(ServeError):
+    """The tenant was shut down (its queued chunks were flushed)."""
+
+
+class TenantCrashed(ServeError):
+    """The tenant's writer task died; the failure record rides along.
+
+    The crash is contained to this tenant — every other tenant keeps
+    serving — but this tenant fails *stop*: both ingest and evaluate
+    raise rather than serve advisories from a writer that is no longer
+    applying chunks.
+    """
+
+    def __init__(self, tenant: str, failure: WorkerError) -> None:
+        super().__init__(
+            tenant, f"writer crashed: {failure.error_type}: {failure.message}"
+        )
+        self.failure = failure
+
+
+class QuotaExceeded(ServeError):
+    """Base class of per-tenant quota refusals."""
+
+    def __init__(
+        self, tenant: str, message: str, *, limit: int, observed: int
+    ) -> None:
+        super().__init__(tenant, f"{message} (limit {limit}, observed {observed})")
+        self.limit = limit
+        self.observed = observed
+
+
+class IngestQueueFull(QuotaExceeded):
+    """The bounded ingest queue is at capacity under the reject policy."""
+
+    def __init__(self, tenant: str, *, limit: int) -> None:
+        super().__init__(
+            tenant, "ingest queue full", limit=limit, observed=limit
+        )
+
+
+class LightQuotaExceeded(QuotaExceeded):
+    """The chunk would grow the tenant past its light budget."""
+
+    def __init__(self, tenant: str, *, limit: int, observed: int) -> None:
+        super().__init__(
+            tenant, "light quota exceeded", limit=limit, observed=observed
+        )
+
+
+class EvaluateOverload(QuotaExceeded):
+    """Too many evaluate calls already in flight for this tenant."""
+
+    def __init__(self, tenant: str, *, limit: int) -> None:
+        super().__init__(
+            tenant, "too many evaluates in flight", limit=limit, observed=limit
+        )

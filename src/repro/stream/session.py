@@ -27,6 +27,19 @@ equal to the one-shot batched backend on the same records: the batched
 kernels are row-wise exact, so evaluating a dirty subset reproduces the
 full-city result light by light.  ``tests/test_stream_parity.py``
 enforces this over randomized chunkings.
+
+Snapshot-isolation invariant
+----------------------------
+A cache entry always describes the data version its estimate was
+computed *from*: ``_refresh`` captures each light's version before the
+kernels run and stamps the entry with that captured value.  If an
+append lands while a refresh is in flight (the serving layer's writer
+racing an executor-offloaded shard refresh, say), the refreshed entry
+simply stays stale and the next :meth:`evaluate` re-identifies it —
+stale-but-consistent beats fresh-but-torn.  ``tests/test_stream.py``
+(``test_version_bump_during_refresh_keeps_entry_stale``) pins the
+regression; :mod:`repro.serve` builds its published snapshots on top of
+this guarantee.
 """
 
 from __future__ import annotations
@@ -144,6 +157,18 @@ class StreamSession:
         """The underlying columnar store (read access)."""
         return self.stream.store
 
+    def results_view(self) -> Dict[LightKey, _CacheEntry]:
+        """Shallow copy of the per-light result cache.
+
+        Each entry is ``(data version, at_time, estimate, failure)``
+        — the version is the one captured *before* the entry's
+        identification ran (see :meth:`_refresh`), so an entry whose
+        version trails ``stream.version(key)`` is stale, never
+        mixed-version.  :mod:`repro.serve` turns these into immutable
+        published :class:`~repro.serve.Snapshot` objects.
+        """
+        return dict(self._results)
+
     # ------------------------------------------------------------------
     # Evaluation (shared by ingest-refresh and explicit calls)
     # ------------------------------------------------------------------
@@ -219,6 +244,15 @@ class StreamSession:
         stale = self._stale_keys(at_time, keys)
         if not stale:
             return frozenset()
+        # Snapshot-isolation invariant: every cache entry is stamped
+        # with the data version captured *before* identification runs,
+        # never the version read afterwards.  A version bump that lands
+        # while the kernels run (a concurrent ingest under repro.serve,
+        # or an executor-offloaded shard refresh) therefore leaves the
+        # entry stale — the next evaluate re-identifies it — instead of
+        # publishing estimates computed from the old rows under the new
+        # version (a mixed-version read).
+        versions = {key: self.stream.version(key) for key in stale}
         if self.backend == "shard":
             from ..core.shard import identify_shard
 
@@ -235,7 +269,7 @@ class StreamSession:
             )
         for key in stale:
             self._results[key] = (
-                self.stream.version(key),
+                versions[key],
                 at_time,
                 b_est.get(key),
                 b_fail.get(key),

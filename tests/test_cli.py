@@ -109,6 +109,34 @@ class TestStreamCommand:
         assert "cycle" in capsys.readouterr().out
 
 
+class TestServeBenchCommand:
+    def test_serve_bench_meets_slo(self, capsys, tmp_path):
+        import json
+
+        json_path = str(tmp_path / "serve.json")
+        report_path = str(tmp_path / "serve_report.json")
+        rc = main(["serve-bench", "--tenants", "2", "--chunks", "3",
+                   "--intersections", "1", "--evaluates-per-chunk", "2",
+                   "--json", json_path, "--report", report_path])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SLOs met" in out
+        assert "0 stale, 0 torn, 0 parity mismatches" in out
+        doc = json.loads(open(json_path).read())
+        assert doc["n_tenants"] == 2
+        assert doc["stale_violations"] == 0
+        report = json.loads(open(report_path).read())
+        assert report["schema"] == "repro.run_report/v1"
+        assert len(report["services"]) == 2
+
+    def test_serve_bench_flags_slo_violation(self, capsys):
+        rc = main(["serve-bench", "--tenants", "1", "--chunks", "2",
+                   "--intersections", "1", "--evaluates-per-chunk", "1",
+                   "--p99-slo-ms", "0.000001"])
+        assert rc == 1
+        assert "SLO FAILED" in capsys.readouterr().out
+
+
 class TestMonitorCommand:
     def test_monitor(self, city_prefix, capsys):
         rc = main(["monitor", "--city", city_prefix, "--light", "0:NS",

@@ -1,0 +1,432 @@
+"""The multi-tenant serving layer (``repro.serve``) — deterministic suite.
+
+Every test drives the full asyncio protocol on a **virtual clock**
+(fixed tick per reading, no wall-clock sleeps) with ``offload=False``
+(applies run inline on the loop), so task interleavings are decided by
+the event loop's deterministic FIFO scheduling alone: the suite passes
+bit-identically on every run.  Covered here: backpressure (both
+full-queue policies), the typed quota rejections, per-tenant writer
+crash containment, graceful shutdown with drain-on-close, freshness
+waits, ``ServiceStats`` serialization and its ``RunReport`` v1-schema
+guard, and end-to-end determinism.  The snapshot-isolation property
+oracle lives in ``tests/test_serve_isolation.py``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs import RunReport, ServiceStats
+from repro.scenario import synthetic_lights, synthetic_partitions
+from repro.serve import (
+    DuplicateTenant,
+    EvaluateOverload,
+    IngestQueueFull,
+    LightQuotaExceeded,
+    LoadSpec,
+    Snapshot,
+    StreamService,
+    Tenant,
+    TenantClosed,
+    TenantCrashed,
+    TenantQuota,
+    UnknownTenant,
+)
+from repro.stream import StreamSession, split_by_time
+
+HORIZON = 1200.0
+
+
+class VirtualClock:
+    """Monotonic fake clock: each reading advances a fixed tick.
+
+    Strictly increasing (so every latency sample is positive) and a
+    pure function of the call count, which is what makes the whole
+    suite's timing telemetry reproducible bit-for-bit.
+    """
+
+    def __init__(self, tick: float = 1e-3) -> None:
+        self.now = 0.0
+        self.tick = tick
+
+    def __call__(self) -> float:
+        self.now += self.tick
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def serve_city():
+    """One tiny synthetic intersection (2 lights), module-shared, read-only."""
+    lights = synthetic_lights(1, seed=3)
+    return synthetic_partitions(lights, 0.0, HORIZON, seed=4)
+
+
+@pytest.fixture(scope="module")
+def serve_chunks(serve_city):
+    """The tiny city split into three equal time slices."""
+    return split_by_time(
+        serve_city, [0.0, 400.0, 800.0, HORIZON + 1e-9]
+    )
+
+
+def _service(**kwargs) -> StreamService:
+    """A service in the deterministic posture: virtual clock, inline applies."""
+    return StreamService(clock=VirtualClock(), offload=False, **kwargs)
+
+
+def _tenant(**kwargs) -> Tenant:
+    """A bare unstarted tenant (lets tests freeze the writer)."""
+    return Tenant(
+        kwargs.pop("name", "solo"),
+        session=StreamSession(monitor=False),
+        clock=kwargs.pop("clock", VirtualClock()),
+        **kwargs,
+    )
+
+
+def _poison(serve_city):
+    """A chunk whose application blows up inside the store append."""
+    key = sorted(serve_city)[0]
+    return {key: None}
+
+
+class TestLifecycle:
+    def test_add_tenant_requires_running_loop(self):
+        with pytest.raises(RuntimeError):
+            _service().add_tenant("x")
+
+    def test_duplicate_tenant_rejected(self):
+        async def main():
+            async with _service() as service:
+                service.add_tenant("a")
+                with pytest.raises(DuplicateTenant):
+                    service.add_tenant("a")
+
+        asyncio.run(main())
+
+    def test_unknown_tenant_rejected(self):
+        async def main():
+            async with _service() as service:
+                with pytest.raises(UnknownTenant):
+                    await service.evaluate("ghost")
+
+        asyncio.run(main())
+
+    def test_submit_evaluate_roundtrip(self, serve_chunks):
+        async def main():
+            async with _service() as service:
+                service.add_tenant("a")
+                await service.submit("a", serve_chunks[0])
+                snap = await service.evaluate("a", min_version=1)
+                assert snap.version == 1
+                assert snap.tenant == "a"
+                assert snap.n_records == sum(
+                    len(p.trace) for p in serve_chunks[0].values()
+                )
+                assert snap.at_time is not None
+                assert snap.integrity_errors() == []
+                return snap
+
+        snap = asyncio.run(main())
+        # published snapshots are immutable: the maps reject writes
+        some_key = sorted(snap.eval_times)[0]
+        with pytest.raises(TypeError):
+            snap.estimates[some_key] = None  # type: ignore[index]
+
+    def test_initial_snapshot_is_version_zero(self):
+        snap = Snapshot.initial("a")
+        assert snap.version == 0
+        assert snap.at_time is None
+        assert not snap.estimates and not snap.failures
+        assert snap.integrity_errors() == []
+
+    def test_close_flushes_queued_chunks(self, serve_chunks):
+        async def main():
+            async with _service() as service:
+                tenant = service.add_tenant("a")
+                for chunk in serve_chunks:
+                    await service.submit("a", chunk)
+            # __aexit__ closed the service: everything queued was applied
+            assert tenant.closed
+            assert tenant.snapshot.version == len(serve_chunks)
+            assert tenant.stats().n_dropped_chunks == 0
+            # the final snapshot stays readable after close ...
+            snap = await tenant.evaluate()
+            assert snap.version == len(serve_chunks)
+            # ... but unreachable freshness is a typed refusal, not a hang
+            with pytest.raises(TenantClosed):
+                await tenant.evaluate(min_version=len(serve_chunks) + 1)
+            with pytest.raises(TenantClosed):
+                await tenant.submit(serve_chunks[0])
+
+        asyncio.run(main())
+
+    def test_evaluate_min_version_waits_for_writer(self, serve_chunks):
+        async def main():
+            async with _service() as service:
+                service.add_tenant("a")
+                waiter = asyncio.create_task(
+                    service.evaluate("a", min_version=2)
+                )
+                await asyncio.sleep(0)  # let the reader park on the event
+                assert not waiter.done()
+                await service.submit("a", serve_chunks[0])
+                await service.submit("a", serve_chunks[1])
+                snap = await waiter
+                assert snap.version >= 2
+
+        asyncio.run(main())
+
+    def test_evaluate_min_at_time_waits_for_writer(self, serve_chunks):
+        async def main():
+            async with _service() as service:
+                service.add_tenant("a")
+                waiter = asyncio.create_task(
+                    service.evaluate("a", min_at_time=500.0)
+                )
+                await asyncio.sleep(0)
+                assert not waiter.done()
+                await service.submit("a", serve_chunks[0])  # t < 500
+                await service.submit("a", serve_chunks[1])  # t >= 500
+                snap = await waiter
+                assert snap.at_time is not None and snap.at_time >= 500.0
+
+        asyncio.run(main())
+
+
+class TestBackpressure:
+    def test_wait_policy_suspends_producer_until_drain(self, serve_chunks):
+        async def main():
+            tenant = _tenant(quota=TenantQuota(max_queue_depth=1))
+            await tenant.submit(serve_chunks[0])  # fills the only slot
+            blocked = asyncio.create_task(tenant.submit(serve_chunks[1]))
+            for _ in range(3):
+                await asyncio.sleep(0)
+            assert not blocked.done(), "full queue must suspend the producer"
+            tenant.start()  # the writer drains a slot; the producer resumes
+            await blocked
+            await tenant.close()
+            assert tenant.snapshot.version == 2
+
+        asyncio.run(main())
+
+    def test_reject_policy_raises_typed_queue_full(self, serve_chunks):
+        async def main():
+            tenant = _tenant(
+                quota=TenantQuota(max_queue_depth=1, on_full="reject")
+            )
+            await tenant.submit(serve_chunks[0])
+            with pytest.raises(IngestQueueFull) as err:
+                await tenant.submit(serve_chunks[1])
+            assert err.value.tenant == "solo"
+            assert err.value.limit == 1
+            tenant.start()
+            await tenant.close()
+            stats = tenant.stats()
+            assert stats.n_rejected_ingest == 1
+            assert stats.n_chunks == 1  # the rejected chunk never landed
+
+        asyncio.run(main())
+
+    def test_high_water_is_bounded_by_depth(self, serve_chunks):
+        async def main():
+            tenant = _tenant(quota=TenantQuota(max_queue_depth=2))
+            await tenant.submit(serve_chunks[0])
+            await tenant.submit(serve_chunks[1])
+            tenant.start()
+            await tenant.close()
+            assert tenant.stats().queue_high_water == 2
+
+        asyncio.run(main())
+
+
+class TestQuotas:
+    def test_light_quota_rejects_before_queueing(self, serve_chunks):
+        first = serve_chunks[0]
+        keys = sorted(first)
+        async def main():
+            tenant = _tenant(quota=TenantQuota(max_lights=1))
+            with pytest.raises(LightQuotaExceeded) as err:
+                await tenant.submit(first)  # 2 lights > budget of 1
+            assert err.value.limit == 1
+            assert err.value.observed == len(keys)
+            # the failed reservation rolled back: a within-budget chunk
+            # is still accepted afterwards
+            await tenant.submit({keys[0]: first[keys[0]]})
+            tenant.start()
+            await tenant.close()
+            stats = tenant.stats()
+            assert stats.n_rejected_ingest == 1
+            assert stats.n_chunks == 1
+
+        asyncio.run(main())
+
+    def test_evaluate_overload_rejects_over_inflight_cap(self, serve_chunks):
+        async def main():
+            async with _service() as service:
+                service.add_tenant(
+                    "a", quota=TenantQuota(max_inflight_evaluates=1)
+                )
+                parked = asyncio.create_task(
+                    service.evaluate("a", min_version=1)
+                )
+                await asyncio.sleep(0)  # reader holds the only slot
+                await asyncio.sleep(0)
+                with pytest.raises(EvaluateOverload) as err:
+                    await service.evaluate("a")
+                assert err.value.limit == 1
+                await service.submit("a", serve_chunks[0])
+                snap = await parked  # the parked reader completes normally
+                assert snap.version == 1
+                assert service.tenant("a").stats().n_rejected_evaluate == 1
+
+        asyncio.run(main())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_queue_depth": 0},
+            {"max_lights": 0},
+            {"max_inflight_evaluates": 0},
+            {"on_full": "drop"},
+        ],
+    )
+    def test_quota_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"n_tenants": 0}, {"n_chunks": 0}, {"evaluates_per_chunk": 0}],
+    )
+    def test_load_spec_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            LoadSpec(**kwargs)
+
+
+class TestCrashContainment:
+    def test_poison_chunk_crashes_only_its_tenant(self, serve_city, serve_chunks):
+        async def main():
+            async with _service() as service:
+                service.add_tenant("sick")
+                service.add_tenant("healthy")
+                await service.submit("sick", _poison(serve_city))
+                await service.submit("healthy", serve_chunks[0])
+                with pytest.raises(TenantCrashed) as err:
+                    await service.evaluate("sick", min_version=1)
+                assert err.value.failure.error_type == "AttributeError"
+                with pytest.raises(TenantCrashed):
+                    await service.submit("sick", serve_chunks[0])
+                # the neighbour never noticed
+                snap = await service.evaluate("healthy", min_version=1)
+                assert snap.version == 1
+                assert service.tenant("healthy").failure is None
+            # service close survives the crashed tenant (record preserved)
+            assert service.tenant("sick").failure is not None
+            assert not service.tenant("sick").closed
+
+        asyncio.run(main())
+
+    def test_crash_drops_backlog_and_wakes_everyone(self, serve_city, serve_chunks):
+        async def main():
+            tenant = _tenant(quota=TenantQuota(max_queue_depth=1))
+            await tenant.submit(_poison(serve_city))
+            blocked = asyncio.create_task(tenant.submit(serve_chunks[0]))
+            waiting = asyncio.create_task(tenant.evaluate(min_version=1))
+            await asyncio.sleep(0)
+            tenant.start()
+            # the freshness-waiting reader is released with the typed error
+            with pytest.raises(TenantCrashed):
+                await waiting
+            # the blocked producer either landed before the crash (its
+            # chunk is then dropped from the backlog) or observed it
+            try:
+                await blocked
+            except TenantCrashed:
+                pass
+            await tenant.close()
+            assert tenant.failure is not None
+            assert tenant.stats().n_dropped_chunks == 1
+            assert tenant.snapshot.version == 0  # nothing was published
+
+        asyncio.run(main())
+
+
+class TestServiceStats:
+    def _stats(self) -> ServiceStats:
+        return ServiceStats(
+            tenant="a", n_chunks=3, n_records=120, n_evaluates=9,
+            n_rejected_ingest=1, n_rejected_evaluate=2, n_dropped_chunks=0,
+            queue_high_water=2, ingest_wall_s=0.5,
+            ingest_lag_p50_s=0.01, ingest_lag_p99_s=0.02,
+            publish_p50_s=0.003, publish_p99_s=0.004,
+            evaluate_p50_s=0.001, evaluate_p99_s=0.002,
+        )
+
+    def test_round_trip_is_exact(self):
+        stats = self._stats()
+        clone = ServiceStats.from_dict(json.loads(json.dumps(stats.to_dict())))
+        assert clone == stats
+
+    def test_report_round_trip(self):
+        report = RunReport()
+        report.record_service(self._stats())
+        clone = RunReport.from_dict(json.loads(json.dumps(report.to_dict())))
+        assert clone.services == report.services
+
+    def test_report_without_services_keeps_v1_shape(self):
+        assert "services" not in RunReport().to_dict()
+
+    def test_service_folds_stats_into_report(self, serve_chunks):
+        async def main():
+            report = RunReport()
+            async with _service(report=report) as service:
+                service.add_tenant("a")
+                await service.submit("a", serve_chunks[0])
+                await service.evaluate("a", min_version=1)
+            assert [s.tenant for s in report.services] == ["a"]
+            stats = report.services[0]
+            assert stats.n_chunks == 1
+            assert stats.n_evaluates == 1
+            assert stats.ingest_wall_s > 0.0
+
+        asyncio.run(main())
+
+
+class TestDeterminism:
+    def test_two_runs_are_bit_identical(self, serve_chunks):
+        async def run_once():
+            async with _service() as service:
+                service.add_tenant("a")
+                service.add_tenant("b")
+                coros = []
+                for name in ("a", "b"):
+                    async def produce(name=name):
+                        for chunk in serve_chunks:
+                            await service.submit(name, chunk)
+
+                    async def consume(name=name):
+                        for version in range(1, len(serve_chunks) + 1):
+                            await service.evaluate(name, min_version=version)
+
+                    coros.append(produce())
+                    coros.append(consume())
+                await asyncio.gather(*coros)
+                snaps = {n: service.snapshot(n) for n in ("a", "b")}
+                return snaps, [s.to_dict() for s in service.stats()]
+
+        snaps1, stats1 = asyncio.run(run_once())
+        snaps2, stats2 = asyncio.run(run_once())
+        # virtual clock + inline applies: even the latency telemetry is
+        # reproducible, not just the estimates
+        assert stats1 == stats2
+        for name in ("a", "b"):
+            a, b = snaps1[name], snaps2[name]
+            assert a.version == b.version
+            assert sorted(a.estimates) == sorted(b.estimates)
+            for key in a.estimates:
+                ea, eb = a.estimates[key], b.estimates[key]
+                assert (ea.cycle_s, ea.red_s, ea.green_s) == (
+                    eb.cycle_s, eb.red_s, eb.green_s
+                )

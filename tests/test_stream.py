@@ -314,6 +314,53 @@ class TestCoherenceAudit:
                 "served the cached estimate object"
             )
 
+    def test_version_bump_during_refresh_keeps_entry_stale(
+        self, partitions, monkeypatch
+    ):
+        """The snapshot-isolation invariant of the session cache.
+
+        An append landing while a refresh's kernels run (the serving
+        layer's writer racing an executor-offloaded refresh) must leave
+        the refreshed entries *stale*: they were computed from the old
+        rows, so stamping them with the bumped version would let the
+        next evaluate serve mixed-version results from cache.
+        """
+        from repro.core import batch as batch_mod
+
+        first, second = _halves(partitions)
+        session = StreamSession(monitor=False)
+        session.ingest(first, refresh=False)
+        real = batch_mod.identify_batch
+        raced = {"done": False}
+
+        def racing(store, at_time, **kwargs):
+            # Identify on the rows as they are now, then land a
+            # concurrent append before the session stamps its entries.
+            result = real(store, at_time, **kwargs)
+            if not raced["done"]:
+                raced["done"] = True
+                session.stream.append(second)
+            return result
+
+        monkeypatch.setattr(batch_mod, "identify_batch", racing)
+        session.evaluate(5400.0)
+        # every entry was computed from pre-append rows and must carry
+        # the pre-append version: all stale, none fresh-but-torn
+        assert sorted(session._stale_keys(5400.0, None)) == sorted(partitions)
+        # the next evaluate re-identifies and reconverges bit-for-bit
+        # with a one-shot batched run over the full data
+        est, fail = session.evaluate(5400.0)
+        ref_est, ref_fail, _ = real(
+            PartitionStore.from_partitions(partitions), 5400.0
+        )
+        assert sorted(est) == sorted(ref_est)
+        assert sorted(fail) == sorted(ref_fail)
+        for k in ref_est:
+            a, b = est[k], ref_est[k]
+            assert (a.cycle_s, a.red_s, a.green_s, a.schedule.offset_s) == (
+                b.cycle_s, b.red_s, b.green_s, b.schedule.offset_s
+            )
+
 
 class TestOnlineMonitor:
     @pytest.mark.slow

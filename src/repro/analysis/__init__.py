@@ -21,9 +21,33 @@ REP006    no iteration or float accumulation over ``set`` values
           (iteration order would feed a numeric reduction)
 ========  ==========================================================
 
+On top of the per-file pass, a whole-program pass (call graph +
+monotone effect fixpoint, ``callgraph.py`` / ``effects.py``) checks
+the interprocedural contracts:
+
+========  ==========================================================
+REP007    store data writes dominated by cache invalidation, at any
+          call depth
+REP008    no mutation of values already dispatched into a worker
+          closure
+REP009    set-order taint must not cross a call boundary into a
+          float reduction
+REP010    kernel call paths stay inside the mypy-strict module tier
+REP011    every ``allow`` suppression still matches a finding
+REP012    no loop-blocking work reachable from an ``async def``
+          (offload through ``run_in_executor``)
+REP013    writer-owned tenant/session state is written only by the
+          writer-task closure
+REP014    a published ``Snapshot`` is never mutated afterwards
+REP015    quota reserves crossing an ``await`` are try/finally
+          released
+REP016    publish events follow the capture/swap/set protocol
+========  ==========================================================
+
 Run it as ``python -m repro.analysis [paths...]``; suppress a single
-finding with a trailing ``# repro: allow[REP00x]`` comment (REP002
-suppressions are themselves only honored at the sanctioned seams).
+finding with a trailing ``# repro: allow[REP00x]`` comment (REP002,
+REP007, and REP012 suppressions are themselves only honored at their
+sanctioned seams).
 """
 
 from .engine import Finding, lint_file, lint_source, run_paths

@@ -121,6 +121,18 @@ def _changed_ranges(base: str, paths: Sequence[str]) -> Dict[str, List[Tuple[int
             else:
                 start, count = int(plus), 1
             ranges.setdefault(current, []).append((start, start + max(count, 1)))
+    # Files new relative to BASE but not yet tracked never appear in
+    # ``git diff BASE`` — every line of them is changed, so every
+    # finding in them is in scope.
+    untracked = subprocess.run(
+        ["git", "ls-files", "--others", "--exclude-standard", "--", *paths],
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    for path in untracked.stdout.splitlines():
+        if path.endswith(".py"):
+            ranges.setdefault(path, []).append((1, sys.maxsize))
     return ranges
 
 
@@ -255,9 +267,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if not args.quiet:
         checked = ", ".join(args.paths)
         if findings:
-            print(f"{len(findings)} finding(s) in {checked}", file=sys.stderr)
+            print(
+                f"{len(findings)} finding(s) in {checked} "
+                f"({elapsed:.2f}s)",
+                file=sys.stderr,
+            )
         else:
-            print(f"clean: {checked}", file=sys.stderr)
+            print(f"clean: {checked} ({elapsed:.2f}s)", file=sys.stderr)
 
     if args.max_seconds is not None and elapsed > args.max_seconds:
         print(

@@ -144,24 +144,26 @@ def _lint_one(
     *,
     select: Optional[Sequence[str]],
     rules: Sequence[Rule],
+    tree: Optional[ast.Module] = None,
 ) -> Tuple[List[Finding], "_FileState"]:
     state = _FileState(path=path, suppressions={}, flagged=set(), used=set())
     mod_path = module_path(path)
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        return (
-            [
-                Finding(
-                    rule="REP000",
-                    path=path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1,
-                    message=f"syntax error: {exc.msg}",
-                )
-            ],
-            state,
-        )
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return (
+                [
+                    Finding(
+                        rule="REP000",
+                        path=path,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                ],
+                state,
+            )
     state.suppressions = _suppressions(source)
     scope_findings, state.flagged = _unsanctioned_suppressions(
         state.suppressions, path, mod_path
@@ -218,8 +220,21 @@ def lint_sources(
     audit = select is None if audit_suppressions is None else audit_suppressions
     findings: List[Finding] = []
     states: Dict[str, _FileState] = {}
+    # Sort inputs and parse each file exactly once: the per-file pass
+    # and the whole-program pass share the cached trees, and findings
+    # (plus the baseline / SARIF output downstream) are independent of
+    # the caller's directory-walk order.
+    files = sorted(files, key=lambda pair: pair[0])
+    trees: Dict[str, ast.Module] = {}
     for path, source in files:
-        file_findings, state = _lint_one(source, path, select=select, rules=rules)
+        try:
+            trees[path] = ast.parse(source, filename=path)
+        except SyntaxError:
+            pass  # _lint_one reports REP000; the program pass skips it
+    for path, source in files:
+        file_findings, state = _lint_one(
+            source, path, select=select, rules=rules, tree=trees.get(path)
+        )
         findings.extend(file_findings)
         states[path] = state
 
@@ -237,7 +252,7 @@ def lint_sources(
             sanctioned = SUPPRESSION_SCOPE.get(rule_id)
             return sanctioned is None or module_path(path) in sanctioned
 
-        program = build_program(files, suppressed=suppressed)
+        program = build_program(files, suppressed=suppressed, trees=trees)
         for key in program.used_suppressions:
             state = states.get(key[0])
             if state is not None:

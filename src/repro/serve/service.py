@@ -19,6 +19,13 @@ Typical shape::
 All timing flows through the injected ``clock`` callable (default
 :func:`time.perf_counter`), which is how the deterministic concurrency
 tests run the whole service on a virtual clock.
+
+The layer's concurrency contracts — nothing loop-blocking reachable
+from a coroutine, single-writer ownership of tenant state, publish-once
+snapshots, rollback-paired quota reserves, and the publish-event
+swap-and-set protocol — are enforced statically by the analyzer's
+REP012–REP016 rules on every run (DESIGN.md §9), not just sampled by
+the interleaving tests.
 """
 
 from __future__ import annotations

@@ -157,7 +157,7 @@ class Tenant:
         self._queue: "asyncio.Queue[Union[_QueuedChunk, _Close]]" = asyncio.Queue(
             maxsize=self.quota.max_queue_depth
         )
-        self._snapshot = Snapshot.initial(name)
+        self._snapshot: Snapshot = Snapshot.initial(name)
         self._publish_event = asyncio.Event()
         self._known_lights: Set[LightKey] = set(session.store)
         self._closing = False
@@ -248,21 +248,31 @@ class Tenant:
                 observed=len(self._known_lights) + len(new_lights),
             )
         # Reserve the lights before any await so concurrent submits see
-        # a consistent budget (asyncio interleaves only at awaits).
+        # a consistent budget (asyncio interleaves only at awaits).  The
+        # reserve must survive every exit path below or a cancellation
+        # while parked on a full queue leaks light budget forever, so
+        # the rollback lives in a finally keyed on whether the chunk
+        # actually landed (REP015 enforces this shape).
         self._known_lights |= new_lights
         item = _QueuedChunk(chunk=chunk, at_time=at_time, enqueued_at=self._clock())
-        if quota.on_full == "reject":
-            try:
-                self._queue.put_nowait(item)
-            except asyncio.QueueFull:
+        landed = False
+        try:
+            if quota.on_full == "reject":
+                try:
+                    self._queue.put_nowait(item)
+                except asyncio.QueueFull:
+                    self._n_rejected_ingest += 1
+                    raise IngestQueueFull(
+                        self.name, limit=quota.max_queue_depth
+                    ) from None
+                landed = True
+            else:
+                await self._queue.put(item)
+                landed = True
+                self._check_accepting()  # the writer may have died while we waited
+        finally:
+            if not landed:
                 self._known_lights -= new_lights  # the chunk never landed
-                self._n_rejected_ingest += 1
-                raise IngestQueueFull(
-                    self.name, limit=quota.max_queue_depth
-                ) from None
-        else:
-            await self._queue.put(item)
-            self._check_accepting()  # the writer may have died while we waited
         self._high_water = max(self._high_water, self._queue.qsize())
 
     def _check_accepting(self) -> None:
@@ -362,7 +372,9 @@ class Tenant:
             else:
                 # Inline mode: fully deterministic loop scheduling, the
                 # posture the virtual-clock concurrency tests run in.
-                outcome = run_guarded(self._apply, item)
+                # Deliberately blocks the loop — sanctioned because the
+                # virtual clock only advances between tasks anyway.
+                outcome = run_guarded(self._apply, item)  # repro: allow[REP012]
             if isinstance(outcome, WorkerError):
                 self._crash(outcome)
                 return

@@ -829,6 +829,8 @@ class StrictFrontierRule(ProgramRule):
         "repro._util",
         "repro.analysis", "repro.analysis.*",
         "repro.core", "repro.core.*",
+        "repro.eval.frontier",
+        "repro.lights.controller",
         "repro.lights.schedule",
         "repro.matching.partition",
         "repro.network.geometry",

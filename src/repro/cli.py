@@ -18,6 +18,11 @@ Four subcommands cover the pipeline end-to-end without writing Python:
   with interleaved ingests and advisory queries across N synthetic
   city tenants, audit snapshot isolation, and check the reader-latency
   SLOs (non-zero exit on violation);
+* ``repro frontier`` — sweep the responsiveness of adaptive
+  (demand-responsive) signal controllers and print the
+  identifiability-frontier curve: cycle-estimate error, changepoint
+  false-alarm/miss rates, and monitor lag vs adaptivity (non-zero exit
+  if the fixed-plan anchor or cross-backend parity fails);
 * ``repro navigate`` — run the Fig. 16 navigation comparison.
 
 Example session::
@@ -153,6 +158,26 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--report", metavar="PATH", default=None,
                      help="write the RunReport JSON (one ServiceStats "
                           "per tenant) to PATH")
+
+    fr = sub.add_parser(
+        "frontier",
+        help="identifiability frontier of adaptive (demand-responsive) signals",
+    )
+    fr.add_argument("--kind", choices=("actuated", "gap", "fuzzy"), default="gap",
+                    help="adaptive controller kind driving the scenario")
+    fr.add_argument("--alphas", type=float, nargs="+", default=None,
+                    help="responsiveness sweep, each in [0, 1] "
+                         "(0 = fixed plan, 1 = fully demand-driven)")
+    fr.add_argument("--intersections", type=int, default=4,
+                    help="intersections in the synthetic city (2 lights each)")
+    fr.add_argument("--horizon", type=float, default=9000.0,
+                    help="trace horizon, seconds")
+    fr.add_argument("--seed", type=int, default=0)
+    fr.add_argument("--backends", nargs="+", default=None,
+                    choices=("serial", "process", "batched", "stream", "shard"),
+                    help="identification backends to cross-check bit-for-bit")
+    fr.add_argument("--json", metavar="PATH", default=None,
+                    help="write the frontier curve as JSON to PATH")
 
     nav = sub.add_parser("navigate", help="Fig. 16 navigation comparison")
     nav.add_argument("--cols", type=int, default=6)
@@ -445,6 +470,46 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_frontier(args) -> int:
+    import json
+
+    from .eval import FrontierSpec, run_frontier
+
+    kwargs = {}
+    if args.alphas:
+        kwargs["alphas"] = tuple(args.alphas)
+    if args.backends:
+        kwargs["backends"] = tuple(args.backends)
+    spec = FrontierSpec(
+        kind=args.kind,
+        n_intersections=args.intersections,
+        horizon_s=args.horizon,
+        seed=args.seed,
+        **kwargs,
+    )
+    print(f"sweeping alpha over {list(spec.alphas)} "
+          f"({spec.n_intersections} intersections, kind={spec.kind}, "
+          f"{spec.horizon_s / 3600.0:g} h horizon) ...")
+    result = run_frontier(spec)
+    print(result.summary())
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(result.to_json())
+        print(f"wrote {args.json}")
+
+    failed = []
+    if result.fixed_plan_bitwise_match is False:
+        failed.append("alpha=0 diverged bit-for-bit from the fixed-plan pipeline")
+    mismatches = sum(p.backend_mismatches for p in result.points)
+    if mismatches:
+        failed.append(f"{mismatches} cross-backend mismatch(es)")
+    if failed:
+        print("FRONTIER FAILED: " + "; ".join(failed))
+        return 1
+    return 0
+
+
 def _cmd_navigate(args) -> int:
     from .navigation import NavScenario, run_navigation_experiment
 
@@ -475,6 +540,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "monitor": _cmd_monitor,
         "stream": _cmd_stream,
         "serve-bench": _cmd_serve_bench,
+        "frontier": _cmd_frontier,
         "navigate": _cmd_navigate,
     }
     return handlers[args.command](args)

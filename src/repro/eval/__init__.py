@@ -3,6 +3,7 @@ reproducing §VIII.A (Figs. 13 and 14)."""
 
 from .cdf import cdf_at, empirical_cdf, fraction_within, summarize_errors
 from .errors import ScheduleErrors, compare
+from .frontier import FrontierPoint, FrontierResult, FrontierSpec, run_frontier
 from .harness import (
     EvalResult,
     EvalSample,
@@ -18,6 +19,10 @@ __all__ = [
     "summarize_errors",
     "ScheduleErrors",
     "compare",
+    "FrontierPoint",
+    "FrontierResult",
+    "FrontierSpec",
+    "run_frontier",
     "EvalResult",
     "EvalSample",
     "evaluate_at_times",

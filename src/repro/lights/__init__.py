@@ -1,11 +1,20 @@
 """Traffic-light substrate: schedules, controllers, intersection groups.
 
-Implements the paper's signal model (Fig. 3) and the three controller
-categories of §III (static, pre-programmed dynamic, manual).
+Implements the paper's signal model (Fig. 3), the three controller
+categories of §III (static, pre-programmed dynamic, manual), and the
+adaptive tier beyond the paper (actuated / gap-actuated / fuzzy
+demand-responsive control) used by the identifiability-frontier eval.
 """
 
 from .controller import (
+    ADAPTIVE_KINDS,
     SECONDS_PER_DAY,
+    ActuatedController,
+    AdaptiveController,
+    DemandFn,
+    DemandSignal,
+    FuzzyController,
+    GapActuatedController,
     LightController,
     ManualController,
     PlanSwitch,
@@ -21,7 +30,14 @@ from .intersection import (
 from .schedule import LightSchedule, Phase
 
 __all__ = [
+    "ADAPTIVE_KINDS",
     "SECONDS_PER_DAY",
+    "ActuatedController",
+    "AdaptiveController",
+    "DemandFn",
+    "DemandSignal",
+    "FuzzyController",
+    "GapActuatedController",
     "LightController",
     "ManualController",
     "PlanSwitch",

@@ -2,7 +2,14 @@
 
 from .shenzhen import TABLE2, ShenzhenScenario, Table2Row, shenzhen_scenario
 from .small import SmallScenario, small_scenario
-from .synthetic import SyntheticLight, synthetic_lights, synthetic_partitions
+from .synthetic import (
+    AdaptiveSyntheticLight,
+    SinusoidalDemand,
+    SyntheticLight,
+    adaptive_synthetic_lights,
+    synthetic_lights,
+    synthetic_partitions,
+)
 
 __all__ = [
     "TABLE2",
@@ -11,7 +18,10 @@ __all__ = [
     "shenzhen_scenario",
     "SmallScenario",
     "small_scenario",
+    "AdaptiveSyntheticLight",
+    "SinusoidalDemand",
     "SyntheticLight",
+    "adaptive_synthetic_lights",
     "synthetic_lights",
     "synthetic_partitions",
 ]

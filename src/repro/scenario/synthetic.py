@@ -27,18 +27,36 @@ phase window holds dozens of samples (superposition).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .._util import as_rng, seed_sequence_for
+from ..lights.controller import (
+    ADAPTIVE_KINDS,
+    ActuatedController,
+    AdaptiveController,
+    DemandSignal,
+    FuzzyController,
+    GapActuatedController,
+    LightController,
+)
+from ..lights.schedule import LightSchedule
 from ..matching.partition import LightKey, LightPartition
 from ..network.geometry import LocalFrame
 from ..network.roadnet import Approach
 from ..trace.records import TraceArrays
 
-__all__ = ["SyntheticLight", "synthetic_lights", "synthetic_partitions"]
+__all__ = [
+    "SyntheticLight",
+    "AdaptiveSyntheticLight",
+    "SinusoidalDemand",
+    "synthetic_lights",
+    "adaptive_synthetic_lights",
+    "synthetic_partitions",
+]
 
 #: Time window type: (start_s, end_s) half-open.
 Window = Tuple[float, float]
@@ -122,6 +140,146 @@ def synthetic_lights(
     return out
 
 
+@dataclass(frozen=True)
+class SinusoidalDemand:
+    """Closed-form diurnal demand profile (deterministic, picklable).
+
+    Demand level swings sinusoidally around 1.0 with relative
+    ``amplitude`` and period ``period_s``; the observed queue scales
+    with the level and the mean headway scales inversely.  Being a pure
+    function of the window midpoint, the same profile yields identical
+    controller realizations in every process — the property the
+    cross-backend parity and golden suites rely on.
+    """
+
+    base_queue: float = 6.0
+    base_headway_s: float = 8.0
+    amplitude: float = 0.8
+    period_s: float = 1500.0
+    phase_s: float = 0.0
+
+    def __call__(self, t0: float, t1: float) -> DemandSignal:
+        mid = 0.5 * (float(t0) + float(t1))
+        level = 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (mid + self.phase_s) / self.period_s
+        )
+        level = max(level, 0.05)
+        return DemandSignal(
+            queue_len=self.base_queue * level,
+            headway_s=self.base_headway_s / level,
+        )
+
+
+@dataclass(frozen=True)
+class AdaptiveSyntheticLight:
+    """Ground truth for one demand-responsive light.
+
+    A controller-backed twin of :class:`SyntheticLight`, interchangeable
+    wherever only ``key`` and ``red_remaining`` are consumed — which is
+    all :func:`synthetic_partitions` needs, so adaptive traces flow
+    through the identical visit model (and identical RNG draws: no draw
+    count depends on the departure time).
+    """
+
+    intersection_id: int
+    approach: str
+    controller: LightController
+
+    @property
+    def key(self) -> LightKey:
+        return (self.intersection_id, self.approach)
+
+    def red_remaining(self, t: float) -> float:
+        """Seconds of red left at ``t`` (0.0 when the light is green)."""
+        return self.controller.wait_if_arriving(t)
+
+    def true_schedule(self, t: float) -> LightSchedule:
+        """The effective (realized) schedule in force at ``t`` — the
+        ground truth the frontier eval scores estimates against."""
+        return self.controller.schedule_at(t)
+
+
+def _make_adaptive(
+    kind: str,
+    base: LightSchedule,
+    *,
+    alpha: float,
+    demand: SinusoidalDemand,
+    base2: Optional[LightSchedule],
+    switch_at_s: Optional[float],
+) -> AdaptiveController:
+    # Response magnitudes scale with the base green so every light in a
+    # mixed-cycle city sweeps a comparable relative range.
+    if kind == "actuated":
+        return ActuatedController(
+            base, alpha=alpha, demand=demand, base2=base2, switch_at_s=switch_at_s,
+            queue_threshold=2.0, extension_per_vehicle_s=2.0,
+        )
+    if kind == "gap":
+        return GapActuatedController(
+            base, alpha=alpha, demand=demand, base2=base2, switch_at_s=switch_at_s,
+            gap_s=6.0, unit_extension_s=0.25 * base.green_s,
+        )
+    if kind == "fuzzy":
+        return FuzzyController(
+            base, alpha=alpha, demand=demand, base2=base2, switch_at_s=switch_at_s,
+            max_adjust_s=0.4 * base.green_s,
+        )
+    raise ValueError(f"unknown adaptive controller kind {kind!r}; expected one of {ADAPTIVE_KINDS}")
+
+
+def adaptive_synthetic_lights(
+    n_intersections: int,
+    *,
+    alpha: float,
+    kind: str = "gap",
+    seed: int = 0,
+    switch_at_s: Optional[float] = None,
+    switch_factor: float = 1.25,
+    demand_period_s: float = 1500.0,
+) -> List[AdaptiveSyntheticLight]:
+    """Adaptive twins of :func:`synthetic_lights`.
+
+    Same base plans (identical seed and RNG draws), each wrapped in a
+    demand-responsive controller of ``kind`` driven by a closed-form
+    :class:`SinusoidalDemand` profile (phase-shifted per light), with
+    responsiveness ``alpha``: 0 reproduces the fixed plan bit-for-bit,
+    1 is fully demand-driven.  With ``switch_at_s`` the programmed
+    second plan takes over under adaptation at the first cycle boundary
+    at or after that instant (a cycle-quantized — not mid-cycle —
+    switch, unlike the fixed-plan twin).
+    """
+    fixed = synthetic_lights(
+        n_intersections, seed=seed, switch_at_s=switch_at_s, switch_factor=switch_factor
+    )
+    out: List[AdaptiveSyntheticLight] = []
+    for lt in fixed:
+        base = LightSchedule(cycle_s=lt.cycle_s, red_s=lt.red_s, offset_s=lt.offset_s)
+        base2 = None
+        if lt.switch_at_s is not None:
+            base2 = LightSchedule(cycle_s=lt.cycle2_s, red_s=lt.red2_s, offset_s=lt.switch_at_s)
+        code = 0 if lt.approach == Approach.NS else 1
+        demand = SinusoidalDemand(
+            period_s=demand_period_s,
+            phase_s=137.0 * lt.intersection_id + 411.0 * code,
+        )
+        controller = _make_adaptive(
+            kind, base, alpha=alpha, demand=demand, base2=base2, switch_at_s=lt.switch_at_s
+        )
+        out.append(
+            AdaptiveSyntheticLight(
+                intersection_id=lt.intersection_id,
+                approach=lt.approach,
+                controller=controller,
+            )
+        )
+    return out
+
+
+#: Anything :func:`synthetic_partitions` can generate traces for.
+SyntheticLightLike = Union[SyntheticLight, AdaptiveSyntheticLight]
+
+
 def _visit_arrivals(
     rng: np.random.Generator, windows: Sequence[Window], rate_per_hour: float
 ) -> np.ndarray:
@@ -138,7 +296,7 @@ def _visit_arrivals(
 
 
 def synthetic_partitions(
-    lights: Sequence[SyntheticLight],
+    lights: Sequence[SyntheticLightLike],
     t0: float,
     t1: float,
     *,
@@ -153,7 +311,9 @@ def synthetic_partitions(
     Parameters
     ----------
     lights:
-        The ground-truth plans (see :func:`synthetic_lights`).
+        The ground-truth plans (see :func:`synthetic_lights`), fixed or
+        adaptive (:func:`adaptive_synthetic_lights`) — only ``key`` and
+        ``red_remaining`` are consumed.
     t0, t1:
         Reports are restricted to ``[t0, t1)``.
     rate_per_hour:

@@ -7,7 +7,7 @@ taxi-trace layer can sample it the way Shenzhen's fleet samples reality.
 from .arrivals import DAY_PROFILE_SHENZHEN, PoissonArrivals, TimeVaryingArrivals
 from .corridor import CorridorResult, CorridorSpec, build_corridor, simulate_corridor
 from .engine import ApproachSpec, CitySimulation, SimulationResult
-from .queueing import ApproachConfig, SignalizedApproachSim
+from .queueing import ApproachConfig, ApproachDemandRecorder, SignalizedApproachSim
 from .vehicle import DwellPlan, VehicleParams, VehicleTrack
 
 __all__ = [
@@ -22,6 +22,7 @@ __all__ = [
     "CitySimulation",
     "SimulationResult",
     "ApproachConfig",
+    "ApproachDemandRecorder",
     "SignalizedApproachSim",
     "DwellPlan",
     "VehicleParams",

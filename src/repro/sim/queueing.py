@@ -20,17 +20,62 @@ cross-intersection coupling is needed to exercise its pipeline.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from .._util import RngLike, as_rng, check_in_range, check_positive
-from ..lights.controller import LightController
+from ..lights.controller import AdaptiveController, DemandSignal, LightController
 from .arrivals import PoissonArrivals
 from .vehicle import DwellPlan, VehicleParams, VehicleTrack
 
-__all__ = ["ApproachConfig", "SignalizedApproachSim"]
+__all__ = ["ApproachConfig", "ApproachDemandRecorder", "SignalizedApproachSim"]
+
+
+class ApproachDemandRecorder:
+    """Per-approach demand log — the live feedback source for adaptive
+    controllers.
+
+    The sim appends one queue sample per step and one entry per admitted
+    vehicle; :meth:`signal` summarizes a half-open window ``[t0, t1)``
+    as the :class:`DemandSignal` an adaptive controller consumes.  The
+    controller only ever asks about windows strictly before the cycle it
+    is deciding, and the sim records step ``t`` before any query needs
+    it, so the feedback loop stays causal.
+    """
+
+    def __init__(self) -> None:
+        self._step_t: List[float] = []
+        self._queue: List[int] = []
+        self._arrival_t: List[float] = []
+
+    def record_step(self, t: float, queue_len: int) -> None:
+        """Record the queue length observed at step ``t`` (appended in
+        time order by the sim loop)."""
+        self._step_t.append(t)
+        self._queue.append(queue_len)
+
+    def record_arrival(self, t: float) -> None:
+        """Record one vehicle admitted to the segment at ``t``."""
+        self._arrival_t.append(t)
+
+    def signal(self, t0: float, t1: float) -> DemandSignal:
+        """Demand over ``[t0, t1)``: peak queue length and mean arrival
+        headway (``inf`` with fewer than two arrivals)."""
+        lo = bisect_left(self._step_t, t0)
+        hi = bisect_left(self._step_t, t1)
+        queue = float(max(self._queue[lo:hi], default=0))
+        a_lo = bisect_left(self._arrival_t, t0)
+        a_hi = bisect_left(self._arrival_t, t1)
+        arrivals = self._arrival_t[a_lo:a_hi]
+        if len(arrivals) >= 2:
+            headway = max((arrivals[-1] - arrivals[0]) / (len(arrivals) - 1), 1e-6)
+        else:
+            headway = math.inf
+        return DemandSignal(queue_len=queue, headway_s=headway)
 
 
 @dataclass(frozen=True)
@@ -124,6 +169,9 @@ class SignalizedApproachSim:
         self.arrivals = arrivals
         self.config = ApproachConfig() if config is None else config
         self.segment_id = segment_id
+        #: Live demand log of the most recent :meth:`run`; only set when
+        #: the controller is adaptive and asked for feedback.
+        self.demand_recorder: Optional[ApproachDemandRecorder] = None
 
     # ------------------------------------------------------------------
     def _spawn(self, vid: int, rng: np.random.Generator) -> _Active:
@@ -164,6 +212,18 @@ class SignalizedApproachSim:
         finished: List[_Active] = []
         vid_counter = 0
 
+        # Adaptive controllers that need live feedback get this run's
+        # demand recorder bound (re-anchored at t0, restarting their
+        # realized timeline for this run); a recorder left over from a
+        # previous run is stale and gets replaced the same way.
+        recorder: Optional[ApproachDemandRecorder] = None
+        if isinstance(self.controller, AdaptiveController) and (
+            self.controller.needs_feedback or self.controller.sim_bound
+        ):
+            recorder = ApproachDemandRecorder()
+            self.controller.bind_sim_demand(recorder.signal, anchor_t=t0)
+        self.demand_recorder = recorder
+
         n_steps = int(np.ceil((t1 - t0) / dt))
         for step in range(n_steps):
             t = t0 + step * dt
@@ -175,12 +235,16 @@ class SignalizedApproachSim:
                 )
                 if not entry_clear:
                     break  # spillback: retry next second
+                if recorder is not None:
+                    recorder.record_arrival(float(arrival_times[next_arrival]))
                 veh = self._spawn(vid_counter, rng)
                 vid_counter += 1
                 active.append(veh)
                 next_arrival += 1
 
             if not active:
+                if recorder is not None:
+                    recorder.record_step(t, 0)
                 continue
 
             red = self.controller.is_red(t)
@@ -234,6 +298,13 @@ class SignalizedApproachSim:
             # -- remove stop-line crossers (front of FIFO only, in order)
             for i in reversed(exited):
                 finished.append(active.pop(i))
+
+            if recorder is not None:
+                queued = sum(
+                    1 for veh in active
+                    if veh.speed < 0.5 and not t < veh.dwell_until
+                )
+                recorder.record_step(t, queued)
 
         finished.extend(active)  # in-flight at window end
         out: List[VehicleTrack] = []

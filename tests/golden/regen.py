@@ -12,11 +12,11 @@ its own oracle.
 
 from __future__ import annotations
 
-from .scenarios import GOLDEN_SCENARIOS, compute_payload, save_fixture
+from .scenarios import ALL_GOLDEN_SCENARIOS, compute_payload, save_fixture
 
 
 def main() -> int:
-    for spec in GOLDEN_SCENARIOS:
+    for spec in ALL_GOLDEN_SCENARIOS:
         payload = compute_payload(spec)
         save_fixture(spec, payload)
         print(

@@ -12,7 +12,7 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import asdict, dataclass
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 FIXTURE_DIR = pathlib.Path(__file__).resolve().parent
 
@@ -45,8 +45,52 @@ GOLDEN_SCENARIOS: Tuple[GoldenScenario, ...] = (
 )
 
 
-def build_partitions(spec: GoldenScenario):
+@dataclass(frozen=True)
+class AdaptiveGoldenScenario:
+    """One seeded demand-responsive run pinned by a committed fixture.
+
+    Same contract as :class:`GoldenScenario`, but the lights run adaptive
+    controllers (``repro.scenario.adaptive_synthetic_lights``): the
+    fixture pins the identify pipeline on a drifting realized schedule,
+    not just the fixed plans the paper assumes.
+    """
+
+    name: str
+    n_intersections: int
+    alpha: float
+    kind: str
+    seed: int
+    horizon_s: float
+    at_time: float
+
+    @property
+    def path(self) -> pathlib.Path:
+        return FIXTURE_DIR / f"golden_{self.name}.json"
+
+
+#: Matches the adaptive parity fixtures in the batch/stream suites, so
+#: the pinned numbers cover the exact scenario those suites replay.
+ADAPTIVE_GOLDEN_SCENARIOS: Tuple[AdaptiveGoldenScenario, ...] = (
+    AdaptiveGoldenScenario("adaptive", 3, 0.6, "gap", 5, 5400.0, 5400.0),
+)
+
+AnyGoldenScenario = Union[GoldenScenario, AdaptiveGoldenScenario]
+
+ALL_GOLDEN_SCENARIOS: Tuple["AnyGoldenScenario", ...] = (
+    GOLDEN_SCENARIOS + ADAPTIVE_GOLDEN_SCENARIOS
+)
+
+
+def build_partitions(spec: AnyGoldenScenario):
     """Simulate the scenario and partition its trace (deterministic)."""
+    if isinstance(spec, AdaptiveGoldenScenario):
+        from repro.scenario import adaptive_synthetic_lights, synthetic_partitions
+
+        lights = adaptive_synthetic_lights(
+            spec.n_intersections, alpha=spec.alpha, kind=spec.kind, seed=spec.seed
+        )
+        return synthetic_partitions(lights, 0.0, spec.horizon_s, seed=spec.seed)
+
     from repro.eval import simulate_and_partition
     from repro.scenario import small_scenario
 
@@ -62,7 +106,7 @@ def build_partitions(spec: GoldenScenario):
     return partitions
 
 
-def compute_payload(spec: GoldenScenario, partitions=None) -> Dict:
+def compute_payload(spec: AnyGoldenScenario, partitions=None) -> Dict:
     """The fixture payload for ``spec`` (batched backend, full pipeline)."""
     from repro.core import identify_many
 
@@ -96,12 +140,12 @@ def compute_payload(spec: GoldenScenario, partitions=None) -> Dict:
     return payload
 
 
-def load_fixture(spec: GoldenScenario) -> Dict:
+def load_fixture(spec: AnyGoldenScenario) -> Dict:
     with open(spec.path, encoding="utf-8") as fp:
         return json.load(fp)
 
 
-def save_fixture(spec: GoldenScenario, payload: Dict) -> None:
+def save_fixture(spec: AnyGoldenScenario, payload: Dict) -> None:
     with open(spec.path, "w", encoding="utf-8") as fp:
         json.dump(payload, fp, indent=2, sort_keys=True)
         fp.write("\n")

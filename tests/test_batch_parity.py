@@ -188,3 +188,38 @@ class TestStoreReuse:
         np.testing.assert_array_equal(
             clone.partition(key).trace.t, store.partition(key).trace.t
         )
+
+
+@pytest.fixture(scope="module")
+def adaptive_city():
+    """Demand-responsive synthetic city (gap controllers, alpha=0.6) —
+    the scenario the frontier eval sweeps, pinned here at one point."""
+    from repro.scenario import adaptive_synthetic_lights, synthetic_partitions
+
+    lights = adaptive_synthetic_lights(3, alpha=0.6, kind="gap", seed=5)
+    return synthetic_partitions(lights, 0.0, 5400.0, seed=5)
+
+
+class TestAdaptiveTraceParity:
+    """Backends must stay bit-for-bit identical on adaptive traces: the
+    kernels see ordinary columns, so demand-responsive data is no excuse
+    for divergence."""
+
+    def test_batched_matches_serial_bitwise(self, adaptive_city):
+        ref = identify_many(adaptive_city, 5400.0, serial=True)
+        out = identify_many(adaptive_city, 5400.0, backend="batched")
+        assert len(ref[0]) > 0, "adaptive city must identify some lights"
+        _assert_parity(ref, out, "batched/adaptive")
+
+    def test_shard_matches_serial_bitwise(self, adaptive_city):
+        ref = identify_many(adaptive_city, 5400.0, serial=True)
+        out = identify_many(adaptive_city, 5400.0, backend="shard", max_workers=1)
+        _assert_parity(ref, out, "shard/adaptive")
+
+    @pytest.mark.slow
+    def test_process_and_shard_pools_match_serial(self, adaptive_city):
+        ref = identify_many(adaptive_city, 5400.0, serial=True)
+        out_p = identify_many(adaptive_city, 5400.0, backend="process", max_workers=2)
+        _assert_parity(ref, out_p, "process/adaptive")
+        out_s = identify_many(adaptive_city, 5400.0, backend="shard", max_workers=2)
+        _assert_parity(ref, out_s, "shard@2w/adaptive")

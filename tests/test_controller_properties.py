@@ -1,0 +1,290 @@
+"""Conformance/property suite for every LightController subclass.
+
+For each controller — the paper's three categories plus the adaptive
+tier — seeded randomized-time checks pin the interface contract: the
+delegating phase helpers (``is_red``/``is_green``/``phase``/
+``wait_if_arriving``/``next_change``) must stay mutually consistent
+with ``schedule_at(t)``, across day-boundary wraparound (``t mod
+86400``) and at plan-switch instants.  RNG only via ``_util.as_rng``
+(REP003).
+"""
+
+import pickle
+
+import pytest
+
+from repro._util import as_rng
+from repro.lights.controller import (
+    SECONDS_PER_DAY,
+    ActuatedController,
+    AdaptiveController,
+    DemandSignal,
+    FuzzyController,
+    GapActuatedController,
+    LightController,
+    ManualController,
+    PlanSwitch,
+    PreProgrammedController,
+    StaticController,
+)
+from repro.lights.schedule import LightSchedule, Phase
+from repro.scenario.synthetic import SinusoidalDemand
+
+DAY = SECONDS_PER_DAY
+HORIZON = 2.5 * DAY
+
+OFFPEAK = LightSchedule(cycle_s=90.0, red_s=40.0, offset_s=10.0)
+PEAK = LightSchedule(cycle_s=140.0, red_s=70.0, offset_s=25.0)
+
+ADAPTIVE_CLASSES = (ActuatedController, GapActuatedController, FuzzyController)
+
+
+def _build_controllers():
+    ctrls = {
+        "static": StaticController(OFFPEAK),
+        "preprogrammed": PreProgrammedController(
+            [
+                PlanSwitch(7 * 3600.0, PEAK),
+                PlanSwitch(10 * 3600.0, OFFPEAK),
+                PlanSwitch(17 * 3600.0, PEAK),
+                PlanSwitch(20 * 3600.0, OFFPEAK),
+            ]
+        ),
+        "manual": ManualController(
+            PreProgrammedController(
+                [PlanSwitch(6 * 3600.0, OFFPEAK), PlanSwitch(16 * 3600.0, PEAK)]
+            ),
+            overrides=[
+                (3600.0, 2 * 3600.0, PEAK),
+                (30 * 3600.0, 31 * 3600.0, OFFPEAK),
+            ],
+        ),
+    }
+    for cls in ADAPTIVE_CLASSES:
+        for alpha in (0.0, 0.5, 1.0):
+            name = f"{cls.__name__}-a{alpha:g}"
+            ctrls[name] = cls(
+                OFFPEAK,
+                alpha=alpha,
+                demand=SinusoidalDemand(phase_s=13.0 * alpha),
+            )
+        ctrls[f"{cls.__name__}-switch"] = cls(
+            OFFPEAK,
+            alpha=0.5,
+            demand=SinusoidalDemand(),
+            base2=PEAK,
+            switch_at_s=6 * 3600.0,
+        )
+    return ctrls
+
+
+CONTROLLERS = _build_controllers()
+
+
+def _probe_times(controller: LightController, seed: int):
+    """Seeded random times plus crafted day-boundary and plan-switch
+    instants (the discontinuities where delegation is most likely to
+    break)."""
+    rng = as_rng(seed)
+    ts = [float(t) for t in rng.uniform(0.0, HORIZON, size=250)]
+    for k in range(1, 3):
+        for d in (-1e-3, 0.0, 1e-3):
+            ts.append(k * DAY + d)
+    switches = controller.plan_switch_times(0.0, HORIZON)[:60]
+    for s in switches:
+        ts.append(s)
+        if s > 1e-3:
+            ts.append(s - 1e-3)
+        ts.append(s + 1e-3)
+    return [t for t in ts if 0.0 <= t < HORIZON]
+
+
+@pytest.mark.parametrize("name", sorted(CONTROLLERS))
+def test_phase_helpers_consistent_with_schedule_at(name):
+    c = CONTROLLERS[name]
+    for t in _probe_times(c, seed=0xC0FFEE):
+        sched = c.schedule_at(t)
+        red = c.is_red(t)
+        assert red == bool(sched.is_red(t))
+        assert c.is_green(t) == (not red)
+        assert c.phase(t) == (Phase.RED if red else Phase.GREEN)
+        wait = c.wait_if_arriving(t)
+        assert wait == sched.wait_if_arriving(t)
+        assert (wait > 0.0) == red
+
+
+@pytest.mark.parametrize("name", sorted(CONTROLLERS))
+def test_next_change_consistent_with_schedule_at(name):
+    c = CONTROLLERS[name]
+    eps = 1e-3
+    for t in _probe_times(c, seed=0xBEEF):
+        t_change, new_phase = c.next_change(t)
+        assert t_change > t
+        assert (t_change, new_phase) == c.schedule_at(t).next_change(t)
+        # A plan switch strictly inside (t, t_change) may cut the
+        # predicted phase short — only the unswitched intervals are
+        # probe-able.  A switch exactly at t_change is fine: every plan
+        # (and every realized adaptive segment) starts with red, so the
+        # phase flip at the boundary is still exact.
+        interior = [
+            s for s in c.plan_switch_times(t, t_change + 1e-9) if t < s < t_change - eps
+        ]
+        if interior:
+            continue
+        mid = 0.5 * (t + t_change)
+        assert c.phase(mid) == c.phase(t)
+        assert c.phase(max(t_change - eps, t)) == c.phase(t)
+        assert c.phase(t_change + eps) == new_phase
+
+
+@pytest.mark.parametrize("name", sorted(CONTROLLERS))
+def test_plan_switch_times_are_sorted_and_windowed(name):
+    c = CONTROLLERS[name]
+    switches = c.plan_switch_times(0.0, HORIZON)
+    assert switches == sorted(switches)
+    assert all(0.0 <= s < HORIZON for s in switches)
+    # window sub-additivity: [0, H) == [0, H/2) + [H/2, H)
+    first = c.plan_switch_times(0.0, HORIZON / 2)
+    second = c.plan_switch_times(HORIZON / 2, HORIZON)
+    assert switches == first + second
+
+
+@pytest.mark.parametrize("cls", ADAPTIVE_CLASSES)
+def test_alpha_zero_matches_static_bitwise(cls):
+    c = cls(OFFPEAK, alpha=0.0, demand=SinusoidalDemand())
+    ref = StaticController(OFFPEAK)
+    assert c.schedule_at(12345.6) is OFFPEAK
+    assert c.plan_switch_times(0.0, HORIZON) == []
+    rng = as_rng(7)
+    for t in rng.uniform(0.0, HORIZON, size=300):
+        t = float(t)
+        assert c.is_red(t) == ref.is_red(t)
+        assert c.wait_if_arriving(t) == ref.wait_if_arriving(t)
+
+
+@pytest.mark.parametrize("cls", ADAPTIVE_CLASSES)
+def test_realized_segments_tile_time_and_start_red(cls):
+    c = cls(OFFPEAK, alpha=1.0, demand=SinusoidalDemand())
+    segments = c.realized_cycles(0.0, 6 * 3600.0)
+    assert segments
+    for (s0, sched0), (s1, _sched1) in zip(segments, segments[1:]):
+        assert s1 == s0 + sched0.cycle_s
+    for start, sched in segments:
+        assert sched.offset_s == start          # anchored at its own start
+        assert sched.red_s == OFFPEAK.red_s     # red fixed, green adapts
+        assert c.is_red(start)                  # every segment opens red
+        assert sched.green_s >= min(c.min_green_s, OFFPEAK.green_s)
+        assert sched.green_s <= c.max_green_factor * OFFPEAK.green_s
+
+
+def test_adaptive_green_monotone_in_alpha():
+    heavy = SinusoidalDemand(amplitude=0.0, base_queue=12.0, base_headway_s=2.0)
+    greens = []
+    for alpha in (0.0, 0.5, 1.0):
+        c = ActuatedController(OFFPEAK, alpha=alpha, demand=heavy)
+        _, sched = c.realized_cycles(0.0, 2000.0)[1]
+        greens.append(sched.green_s)
+    assert greens[0] == OFFPEAK.green_s
+    assert greens[0] < greens[1] < greens[2]
+
+
+def test_gap_controller_gaps_out_on_empty_approach():
+    def no_traffic(t0, t1):
+        return DemandSignal(queue_len=0.0, headway_s=float("inf"))
+
+    c = GapActuatedController(OFFPEAK, alpha=1.0, demand=no_traffic)
+    _, sched = c.realized_cycles(0.0, 1000.0)[1]
+    assert sched.green_s == c.min_green_s
+
+    def platoon(t0, t1):
+        return DemandSignal(queue_len=10.0, headway_s=1.0)
+
+    dense = GapActuatedController(OFFPEAK, alpha=1.0, demand=platoon)
+    _, sched_d = dense.realized_cycles(0.0, 1000.0)[1]
+    assert sched_d.green_s > sched.green_s
+
+
+def test_fuzzy_rule_table_directions():
+    def saturated(t0, t1):
+        return DemandSignal(queue_len=20.0, headway_s=1.0)
+
+    def empty(t0, t1):
+        return DemandSignal(queue_len=0.0, headway_s=float("inf"))
+
+    c_hi = FuzzyController(OFFPEAK, alpha=1.0, demand=saturated)
+    c_lo = FuzzyController(OFFPEAK, alpha=1.0, demand=empty)
+    _, hi = c_hi.realized_cycles(0.0, 1000.0)[1]
+    _, lo = c_lo.realized_cycles(0.0, 1000.0)[1]
+    # saturated extends (bounded by the table's +max adjustment);
+    # empty is exactly the (low queue, long headway) corner rule: -1.
+    assert OFFPEAK.green_s < hi.green_s <= OFFPEAK.green_s + c_hi.max_adjust_s
+    assert lo.green_s == OFFPEAK.green_s - c_lo.max_adjust_s
+
+
+def test_programmed_switch_under_adaptation():
+    switch_at = 3600.0
+    c = ActuatedController(
+        OFFPEAK, alpha=0.0, demand=SinusoidalDemand(), base2=PEAK, switch_at_s=switch_at
+    )
+    for start, sched in c.realized_cycles(0.0, 3 * 3600.0):
+        expected = OFFPEAK if start < switch_at else PEAK
+        assert sched.red_s == expected.red_s
+        assert sched.green_s == expected.green_s
+    switches = c.plan_switch_times(0.0, 3 * 3600.0)
+    assert len(switches) == 1
+    assert switches[0] >= switch_at
+    assert switches[0] - switch_at < OFFPEAK.cycle_s
+
+
+def test_bind_demand_resets_realization():
+    c = GapActuatedController(OFFPEAK, alpha=1.0)
+    assert c.needs_feedback
+    with pytest.raises(ValueError, match="no demand source"):
+        c.schedule_at(500.0)
+    c.bind_demand(SinusoidalDemand(), anchor_t=0.0)
+    assert not c.needs_feedback
+    first = c.schedule_at(5000.0)
+    c.bind_demand(SinusoidalDemand(phase_s=400.0), anchor_t=0.0)
+    second = c.schedule_at(5000.0)
+    assert first != second  # realization restarted under the new demand
+    assert not c.sim_bound
+    c.bind_sim_demand(SinusoidalDemand(), anchor_t=0.0)
+    assert c.sim_bound
+
+
+def test_adaptive_validation_errors():
+    with pytest.raises(ValueError):
+        ActuatedController(OFFPEAK, alpha=1.5, demand=SinusoidalDemand())
+    with pytest.raises(ValueError, match="given together"):
+        ActuatedController(OFFPEAK, base2=PEAK)
+    with pytest.raises(ValueError, match="given together"):
+        ActuatedController(OFFPEAK, switch_at_s=100.0)
+    with pytest.raises(ValueError, match="max_realized_cycles"):
+        ActuatedController(OFFPEAK, max_realized_cycles=0)
+    with pytest.raises(ValueError, match="3x3"):
+        FuzzyController(OFFPEAK, rules=((0.0, 0.0),))
+    c = GapActuatedController(
+        OFFPEAK, alpha=1.0, demand=SinusoidalDemand(), max_realized_cycles=3
+    )
+    with pytest.raises(ValueError, match="max_realized_cycles"):
+        c.schedule_at(10 * OFFPEAK.cycle_s)
+
+
+def test_demand_signal_validation():
+    with pytest.raises(ValueError):
+        DemandSignal(queue_len=-1.0, headway_s=5.0)
+    with pytest.raises(ValueError):
+        DemandSignal(queue_len=1.0, headway_s=0.0)
+    DemandSignal(queue_len=0.0, headway_s=float("inf"))  # empty approach is valid
+
+
+@pytest.mark.parametrize("cls", ADAPTIVE_CLASSES)
+def test_adaptive_controller_pickle_roundtrip(cls):
+    c = cls(OFFPEAK, alpha=0.7, demand=SinusoidalDemand(phase_s=5.0))
+    c.schedule_at(4000.0)  # partially realized state must survive
+    clone = pickle.loads(pickle.dumps(c))
+    rng = as_rng(11)
+    for t in rng.uniform(0.0, 9000.0, size=50):
+        t = float(t)
+        assert clone.schedule_at(t) == c.schedule_at(t)
+        assert clone.wait_if_arriving(t) == c.wait_if_arriving(t)

@@ -684,7 +684,7 @@ class TestStrictFrontier:
                 PARITY,
                 _src(
                     """
-                    from ..lights.controller import helper
+                    from ..sim.queueing import helper
 
                     def kernel(x):
                         return helper(x)
@@ -692,7 +692,7 @@ class TestStrictFrontier:
                 ),
             ),
             (
-                "src/repro/lights/controller.py",
+                "src/repro/sim/queueing.py",
                 _src(
                     """
                     def helper(x):
@@ -703,7 +703,7 @@ class TestStrictFrontier:
         ]
         findings = lint_sources(files)
         assert _rules_of(findings) == ["REP010"]
-        assert "repro.lights.controller" in findings[0].message
+        assert "repro.sim.queueing" in findings[0].message
 
     def test_parity_call_into_strict_module_is_clean(self):
         files = [

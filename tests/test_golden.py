@@ -13,13 +13,13 @@ import json
 import pytest
 
 from tests.golden.scenarios import (
-    GOLDEN_SCENARIOS,
+    ALL_GOLDEN_SCENARIOS,
     build_partitions,
     compute_payload,
     load_fixture,
 )
 
-_BY_NAME = {spec.name: spec for spec in GOLDEN_SCENARIOS}
+_BY_NAME = {spec.name: spec for spec in ALL_GOLDEN_SCENARIOS}
 
 
 def _diff(expected, actual):
@@ -47,7 +47,7 @@ def golden_partitions(partitions):
 
 class TestGoldenFixtures:
     def test_all_fixtures_exist(self):
-        for spec in GOLDEN_SCENARIOS:
+        for spec in ALL_GOLDEN_SCENARIOS:
             assert spec.path.exists(), (
                 f"missing fixture {spec.path}; run "
                 "`PYTHONPATH=src python -m tests.golden.regen`"
@@ -121,6 +121,6 @@ class TestGoldenFixtures:
 
     def test_fixture_floats_roundtrip_exactly(self):
         """The storage format itself cannot lose precision."""
-        for spec in GOLDEN_SCENARIOS:
+        for spec in ALL_GOLDEN_SCENARIOS:
             payload = load_fixture(spec)
             assert json.loads(json.dumps(payload)) == payload

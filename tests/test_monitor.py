@@ -121,3 +121,96 @@ class TestHistoricalProfile:
     def test_bin_validation(self):
         with pytest.raises(ValueError):
             HistoricalProfile([], bin_s=7.0)
+
+
+class TestDriftingSchedules:
+    """Gradual (non-step) schedule transitions through the monitor stack.
+
+    The detector was designed for step changes; these tests pin how it
+    behaves when the truth drifts smoothly instead — staged detections
+    for fast ramps, silence for slow creep — so a future tuning change
+    shows up as an explicit diff here rather than a silent behavior
+    shift.
+    """
+
+    def test_fast_ramp_reported_as_staged_changes(self):
+        """A 42 s ramp over 30 windows surfaces as a few step changes,
+        each moving in the drift direction and inside the ramp's span."""
+        ramp = np.concatenate(
+            [np.full(8, 98.0), np.linspace(98.0, 140.0, 30), np.full(8, 140.0)]
+        )
+        s = series(ramp)
+        changes = detect_plan_changes(repair_outliers(s))
+        assert 1 <= len(changes) <= 5
+        times = [c.at_time for c in changes]
+        assert times == sorted(times)
+        assert all(c.new_cycle_s > c.old_cycle_s for c in changes)
+        for c in changes:
+            assert 98.0 < c.new_cycle_s <= 140.0 + 2.0
+        # First staged detection happens after the drift actually starts.
+        assert changes[0].at_time >= 8 * 300.0
+
+    def test_repair_does_not_flatten_a_ramp(self):
+        """A smooth drift is signal, not outliers: repair must pass it
+        through untouched (every step is well inside the spike gate)."""
+        ramp = np.linspace(98.0, 140.0, 30)
+        r = repair_outliers(series(ramp))
+        np.testing.assert_allclose(r.cycle_s, ramp)
+
+    def test_slow_creep_stays_silent(self):
+        """Sub-tolerance per-step creep is tracked by the EWMA level and
+        never crosses the run-of-3 gate: zero reported changes.  This is
+        the documented blind spot of a step detector, pinned on purpose."""
+        creep = np.linspace(98.0, 160.0, 120)
+        assert detect_plan_changes(series(creep)) == []
+
+    def test_drift_with_nan_gaps_is_crash_free(self):
+        """NaN holes in a drifting series must not break detection."""
+        d = np.linspace(98.0, 140.0, 40)
+        d[::7] = np.nan
+        changes = detect_plan_changes(series(d))
+        assert all(c.new_cycle_s > c.old_cycle_s for c in changes)
+
+    def test_drift_into_nan_tail(self):
+        """Estimates going dark mid-drift (all-NaN tail) is containment,
+        not a crash; detections stay within the observed span."""
+        d = np.concatenate([np.linspace(98.0, 130.0, 20), np.full(10, np.nan)])
+        changes = detect_plan_changes(series(d))
+        for c in changes:
+            assert c.at_time < 20 * 300.0
+
+    def test_degenerate_series_lengths(self):
+        """Too-short series can never satisfy the run-of-3 gate."""
+        assert detect_plan_changes(series([98.0])) == []
+        assert detect_plan_changes(series([98.0, 140.0])) == []
+        assert detect_plan_changes(series([np.nan] * 10)) == []
+
+    def test_adaptive_partition_end_to_end(self):
+        """monitor -> repair -> detect on a fully demand-driven adaptive
+        trace: the realized schedule drifts every cycle, and the whole
+        stack must stay crash-free with usable estimates throughout."""
+        from repro.scenario import adaptive_synthetic_lights, synthetic_partitions
+
+        lights = adaptive_synthetic_lights(2, alpha=1.0, kind="gap", seed=3)
+        parts = synthetic_partitions(lights, 0.0, 9000.0, seed=3)
+        partition = next(iter(parts.values()))
+        ms = monitor_cycle(partition, 1800.0, 9000.0, every_s=300.0, window_s=1800.0)
+        assert ms.t.size > 0
+        assert ms.valid_fraction() > 0.8
+        changes = detect_plan_changes(repair_outliers(ms))
+        for c in changes:
+            assert 1800.0 <= c.at_time <= 9000.0
+
+    def test_empty_monitoring_window_is_contained(self):
+        """A horizon shorter than the trailing window yields an empty
+        series, and every downstream stage degrades gracefully on it."""
+        from repro.scenario import adaptive_synthetic_lights, synthetic_partitions
+
+        lights = adaptive_synthetic_lights(1, alpha=1.0, kind="actuated", seed=9)
+        parts = synthetic_partitions(lights, 0.0, 9000.0, seed=9)
+        partition = next(iter(parts.values()))
+        ms = monitor_cycle(partition, 0.0, 600.0, every_s=300.0, window_s=1800.0)
+        assert ms.t.size == 0
+        assert np.isnan(ms.valid_fraction())
+        assert repair_outliers(ms).cycle_s.size == 0
+        assert detect_plan_changes(ms) == []

@@ -204,3 +204,90 @@ class TestPropertyRandomSchedules:
             if (not truncated and tr.dist_to_stopline_m[-1] <= 0.5
                     and tr.speed_mps[-1] > 0.5):
                 assert not bool(sched.is_red(float(tr.t[-1])))
+
+
+class TestAdaptiveLiveFeedback:
+    """The sim binds its demand recorder to adaptive controllers and the
+    realized schedule responds to the approach's own traffic."""
+
+    def _adaptive_sim(self, controller, rate):
+        cfg = ApproachConfig(
+            segment_length_m=400.0, taxi_fraction=1.0,
+            dwell_probability=0.0, record_all_vehicles=True,
+        )
+        return SignalizedApproachSim(controller, PoissonArrivals(rate), cfg)
+
+    def test_recorder_bound_only_for_adaptive(self):
+        from repro.lights.controller import GapActuatedController
+
+        sim = make_sim()
+        sim.run(0.0, 300.0, rng=1)
+        assert sim.demand_recorder is None
+
+        adaptive = GapActuatedController(SCHED, alpha=1.0)
+        sim_a = self._adaptive_sim(adaptive, rate=300.0)
+        sim_a.run(0.0, 600.0, rng=1)
+        assert sim_a.demand_recorder is not None
+        assert adaptive.sim_bound
+
+    def test_green_tracks_approach_demand(self):
+        from repro.lights.controller import GapActuatedController
+
+        heavy_ctrl = GapActuatedController(SCHED, alpha=1.0)
+        self._adaptive_sim(heavy_ctrl, rate=500.0).run(0.0, 3600.0, rng=3)
+        heavy_green = np.mean(
+            [s.green_s for _, s in heavy_ctrl.realized_cycles(600.0, 3600.0)]
+        )
+
+        light_ctrl = GapActuatedController(SCHED, alpha=1.0)
+        self._adaptive_sim(light_ctrl, rate=30.0).run(0.0, 3600.0, rng=3)
+        light_green = np.mean(
+            [s.green_s for _, s in light_ctrl.realized_cycles(600.0, 3600.0)]
+        )
+        assert heavy_green > light_green
+
+    def test_live_bound_controller_keeps_interface_contract(self):
+        from repro.lights.controller import ActuatedController
+        from repro.lights.schedule import Phase
+
+        ctrl = ActuatedController(SCHED, alpha=1.0)
+        self._adaptive_sim(ctrl, rate=400.0).run(0.0, 1800.0, rng=5)
+        for t in np.linspace(0.0, 1795.0, 120):
+            t = float(t)
+            sched = ctrl.schedule_at(t)
+            assert ctrl.is_red(t) == bool(sched.is_red(t))
+            assert ctrl.wait_if_arriving(t) == sched.wait_if_arriving(t)
+            assert ctrl.phase(t) in (Phase.RED, Phase.GREEN)
+
+    def test_rerun_replaces_stale_recorder(self):
+        from repro.lights.controller import FuzzyController
+
+        ctrl = FuzzyController(SCHED, alpha=1.0)
+        sim = self._adaptive_sim(ctrl, rate=300.0)
+        sim.run(0.0, 900.0, rng=2)
+        first = sim.demand_recorder
+        sim.run(0.0, 900.0, rng=2)
+        assert sim.demand_recorder is not first
+        # determinism: same seed, same realized timeline
+        a = [s.cycle_s for _, s in ctrl.realized_cycles(0.0, 900.0)]
+        sim.run(0.0, 900.0, rng=2)
+        b = [s.cycle_s for _, s in ctrl.realized_cycles(0.0, 900.0)]
+        assert a == b
+
+    def test_recorder_signal_windows(self):
+        from repro.sim.queueing import ApproachDemandRecorder
+
+        rec = ApproachDemandRecorder()
+        for i in range(10):
+            rec.record_step(float(i), i % 4)
+        rec.record_arrival(2.5)
+        rec.record_arrival(4.5)
+        rec.record_arrival(8.5)
+        sig = rec.signal(0.0, 10.0)
+        assert sig.queue_len == 3.0
+        assert sig.headway_s == pytest.approx((8.5 - 2.5) / 2)
+        empty = rec.signal(20.0, 30.0)
+        assert empty.queue_len == 0.0
+        assert empty.headway_s == float("inf")
+        one = rec.signal(8.0, 10.0)
+        assert one.headway_s == float("inf")  # single arrival: no headway

@@ -136,3 +136,37 @@ class TestUniqueTimestampPrecondition:
         for key, part in synthetic_city.items():
             t = np.asarray(part.trace.t)
             assert len(np.unique(t)) == len(t), key
+
+
+@pytest.fixture(scope="module")
+def adaptive_synthetic_city():
+    """Demand-responsive closed-form city (same spec as the batch-parity
+    and golden adaptive scenarios)."""
+    from repro.scenario import adaptive_synthetic_lights
+
+    lights = adaptive_synthetic_lights(3, alpha=0.6, kind="gap", seed=5)
+    return synthetic_partitions(lights, 0.0, 5400.0, seed=5)
+
+
+class TestAdaptiveReplayParity:
+    """The replay-parity oracle extends to adaptive traces: any chunking
+    of a demand-responsive city converges bit-for-bit to batched."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_chunking_adaptive_city(self, adaptive_synthetic_city, seed):
+        rng = np.random.default_rng(200 + seed)
+        chunks = split_random(
+            adaptive_synthetic_city, int(rng.integers(2, 10)), rng=rng
+        )
+        ref = identify_many(adaptive_synthetic_city, 5400.0, backend="batched")
+        assert len(ref[0]) > 0
+        out = _stream_replay(adaptive_synthetic_city, chunks, 5400.0)
+        _assert_parity(ref, out, f"stream/adaptive seed={seed}")
+
+    def test_adaptive_city_has_unique_per_light_timestamps(
+        self, adaptive_synthetic_city
+    ):
+        """The order-independence precondition survives adaptive plans."""
+        for key, part in adaptive_synthetic_city.items():
+            t = np.asarray(part.trace.t)
+            assert len(np.unique(t)) == len(t), key

@@ -101,8 +101,16 @@ def _changed_ranges(base: str, paths: Sequence[str]) -> Dict[str, List[Tuple[int
     contributes the post-image range ``[c, c+max(d,1))`` (a pure
     deletion still marks the line it landed on, so a finding introduced
     by deleting an invalidation next to line ``c`` stays in scope).
+
+    ``--find-renames`` is forced on (repositories can disable rename
+    detection via ``diff.renames``): without it a renamed file shows up
+    as a full delete + add, flagging every line as changed and burying
+    the hunks the author actually touched.
     """
-    cmd = ["git", "diff", "-U0", "--no-color", base, "--", *paths]
+    cmd = [
+        "git", "diff", "-U0", "--no-color", "--find-renames",
+        base, "--", *paths,
+    ]
     proc = subprocess.run(cmd, capture_output=True, text=True, check=True)
     ranges: Dict[str, List[Tuple[int, int]]] = {}
     current: Optional[str] = None

@@ -58,6 +58,9 @@ that the message is unwanted.
 from __future__ import annotations
 
 import ast
+import io
+import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -77,6 +80,7 @@ from .callgraph import (
     module_path,
     own_nodes,
 )
+from .numeric import NumericAnalysis, build_numeric
 
 __all__ = [
     "STORE_CLASSES",
@@ -247,6 +251,18 @@ class Program:
     #: roots over call edges *and* function references (``_run_writer``
     #: hands ``self._apply`` to ``run_guarded`` / the executor).
     writer_reachable: Set[str] = field(default_factory=set)
+    #: Precision-lattice fixpoint over the same call graph: per-function
+    #: parameter/return precision, parity-sink conduits, and the
+    #: collected sub-float64 violations REP017 reports.
+    numeric: NumericAnalysis = field(default_factory=NumericAnalysis)
+    #: ``# repro: tolerance[ulp=N]`` markers (the compiled tier's
+    #: boundary annotation): function qualname -> declared ULP budget.
+    tolerance_markers: Dict[str, int] = field(default_factory=dict)
+    #: Marker lines that failed to parse or sit on no function
+    #: definition: ``(path, lineno, reason)`` — REP019 reports them.
+    tolerance_orphans: List[Tuple[str, int, str]] = field(
+        default_factory=list
+    )
 
 
 SuppressionCheck = Callable[[str, int, str], bool]
@@ -991,6 +1007,88 @@ def expr_unordered(
 
 
 # ----------------------------------------------------------------------
+# Tolerance-boundary markers (the compiled tier's annotation, REP019)
+# ----------------------------------------------------------------------
+
+#: Strict grammar: a trailing ``# repro: tolerance[ulp=N]`` on a
+#: ``def`` line declares the function tolerance-tier with an N-ULP
+#: divergence budget against the exact float64 kernel.  Anchored at
+#: the comment's start so prose *mentioning* the marker never parses.
+_TOLERANCE_RE = re.compile(r"#\s*repro:\s*tolerance\[ulp=(\d+)\]\s*$")
+#: Anything that *opens* a comment like a tolerance marker but fails
+#: the strict grammar is reported rather than silently ignored — a
+#: typo here would silently open the parity tier to a relaxed kernel.
+_TOLERANCE_HINT_RE = re.compile(r"#\s*repro:\s*tolerance")
+
+
+def _collect_tolerance_markers(
+    files: Sequence[Tuple[str, str]], graph: CallGraph
+) -> Tuple[Dict[str, int], List[Tuple[str, int, str]]]:
+    """``(qualname -> ulp, orphans)`` for every marker in *files*.
+
+    A well-formed marker must sit on a function's ``def`` signature
+    (any line from ``def`` through the first body statement, so
+    multi-line signatures can carry it on the closing paren).  Markers
+    elsewhere, and malformed spellings, come back as orphans with a
+    reason string.
+
+    Only real ``COMMENT`` tokens are scanned — docstrings and string
+    literals that merely *describe* the marker grammar never register
+    — and the marker must open the comment, so ``#:`` field notes
+    mentioning tolerance stay inert.
+    """
+    by_path: Dict[str, List[FunctionInfo]] = {}
+    for fn in graph.functions.values():
+        by_path.setdefault(fn.path, []).append(fn)
+    markers: Dict[str, int] = {}
+    orphans: List[Tuple[str, int, str]] = []
+    for path, source in files:
+        fns = by_path.get(path, [])
+        try:
+            tokens = list(
+                tokenize.generate_tokens(io.StringIO(source).readline)
+            )
+        except (tokenize.TokenError, IndentationError, SyntaxError):
+            continue  # unparsable files are REP001's problem
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            lineno = tok.start[0]
+            if _TOLERANCE_HINT_RE.match(tok.string) is None:
+                continue
+            match = _TOLERANCE_RE.match(tok.string)
+            if match is None:
+                orphans.append(
+                    (
+                        path,
+                        lineno,
+                        "malformed tolerance marker (expected "
+                        "'# repro: tolerance[ulp=N]')",
+                    )
+                )
+                continue
+            owner: Optional[FunctionInfo] = None
+            for fn in fns:
+                body = getattr(fn.node, "body", None)
+                body_start = body[0].lineno if body else fn.lineno + 1
+                if fn.lineno <= lineno < max(body_start, fn.lineno + 1):
+                    owner = fn
+                    break
+            if owner is None:
+                orphans.append(
+                    (
+                        path,
+                        lineno,
+                        "tolerance marker must sit on a function's "
+                        "def signature",
+                    )
+                )
+                continue
+            markers[owner.qualname] = int(match.group(1))
+    return markers, orphans
+
+
+# ----------------------------------------------------------------------
 # Shared pytest fixtures
 # ----------------------------------------------------------------------
 
@@ -1118,6 +1216,9 @@ def build_program(
     _propagate_order_taint(graph, effects)
     _collect_block_anchors(graph, effects)
     writer_roots, writer_reachable = _writer_closure(graph)
+    tolerance_markers, tolerance_orphans = _collect_tolerance_markers(
+        files, graph
+    )
     return Program(
         graph=graph,
         effects=effects,
@@ -1125,4 +1226,7 @@ def build_program(
         used_suppressions=used,
         writer_roots=writer_roots,
         writer_reachable=writer_reachable,
+        numeric=build_numeric(graph),
+        tolerance_markers=tolerance_markers,
+        tolerance_orphans=tolerance_orphans,
     )

@@ -1,0 +1,1147 @@
+"""Numeric precision dataflow: the float64 parity lattice (REP017).
+
+The batched / stream / shard / serve backends all rest on one numeric
+invariant: every value that reaches an identification kernel is
+``float64``, so identical operation order gives bit-for-bit parity
+against the golden fixtures.  REP005 enforces the *spelling* of that
+contract per file; this module proves the *semantics* — no sub-float64
+(or unproven) value flows into a parity-kernel parameter on any call
+chain, however many helpers it crosses.
+
+**The lattice.**  Each tracked value carries a precision level from the
+four-point chain
+
+    EXACT (0)  ⊑  AMBIGUOUS (1)  ⊑  SUB (2)  ⊑  UNKNOWN (3)
+
+* ``EXACT`` — provably ``float64`` (or an exact-in-float64 integer /
+  bool dtype): ``dtype=np.float64``, ``.astype(np.float64)``, float
+  literals, default-dtype NumPy constructors.
+* ``AMBIGUOUS`` — float64 in fact but via an ambiguous spelling
+  (``dtype=float``, ``dtype="float"``): REP005's business, not a
+  parity violation, so REP017 does not fire on it.
+* ``SUB`` — provably below float64 (``float32`` / ``float16`` and
+  their string spellings).
+* ``UNKNOWN`` — an array whose dtype the analysis cannot pin down
+  (e.g. the return of an annotated producer whose body defeats local
+  inference).  Conservatively *not* float64 — the parity tier demands
+  proof, so UNKNOWN at a kernel boundary is a finding.
+
+``join`` is pointwise ``max`` over the chain, extended componentwise
+to tuples / dicts / list-like containers; ``None`` means *untracked*
+(not a numeric array value, or produced by code the analysis does not
+model) and is the bottom element: ``join(None, v) == v``.
+
+**Untracked is an under-approximation, deliberately.**  A value only
+becomes tracked through an explicit dtype, a NumPy constructor, or an
+in-tree producer whose return annotation names ``ndarray``.  Joining
+untracked operands as identity means an f32 smuggled through an
+unmodeled API will not fire — the analyzer's contract is "no false
+positives against the committed-empty baseline" first, coverage
+second.  Widening the tracked frontier (more annotations, more
+modeled APIs) monotonically grows coverage without churning existing
+findings.
+
+**Interprocedural fixpoint.**  Parameter precision is the join over
+all call sites' tracked argument values; return precision is the join
+over ``return`` expressions evaluated under those parameters.  Both
+only ever climb the lattice, so the sweep loop terminates (bounded by
+function count times lattice height; we cap sweeps like the effect
+fixpoints in :mod:`repro.analysis.effects`).  ``run_guarded(f, ...)``
+— the sanctioned containment seam — is modeled as a direct call to
+``f`` so precision flows through the guard.
+
+**Parity sinks.**  Every parameter of every function defined in a
+parity-kernel file is a sink.  Sink-ness propagates *backward* through
+bare-``Name`` parameter conduits (``_score_light`` passing its ``t``
+straight into ``_select_cycle`` makes ``_score_light.t`` a sink), so
+the violation is charged where a concrete non-parameter value enters
+the chain — typically the public batch entry — and the finding names
+the whole chain down to the kernel.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from .callgraph import (
+    CallGraph,
+    FunctionInfo,
+    _resolve_func_ref,
+    module_path,
+    own_nodes,
+)
+
+__all__ = [
+    "EXACT",
+    "AMBIGUOUS",
+    "SUB",
+    "UNKNOWN",
+    "LEVELS",
+    "LEVEL_NAMES",
+    "PARITY_KERNEL_FILES",
+    "TupleVal",
+    "DictVal",
+    "ListVal",
+    "Value",
+    "join",
+    "worst",
+    "leq",
+    "dtype_level",
+    "NumericSummary",
+    "PrecisionViolation",
+    "NumericAnalysis",
+    "build_numeric",
+]
+
+# ----------------------------------------------------------------------
+# The precision chain
+# ----------------------------------------------------------------------
+
+EXACT = 0  #: provably float64 (or exactly-representable integer/bool)
+AMBIGUOUS = 1  #: float64 via an ambiguous spelling (``dtype=float``)
+SUB = 2  #: provably below float64 (float32/float16)
+UNKNOWN = 3  #: an array whose dtype cannot be pinned down
+
+LEVELS = (EXACT, AMBIGUOUS, SUB, UNKNOWN)
+
+LEVEL_NAMES = {
+    EXACT: "float64",
+    AMBIGUOUS: "float64 (ambiguous spelling)",
+    SUB: "sub-float64",
+    UNKNOWN: "unknown-precision",
+}
+
+#: Must stay in sync with ``rules.PARITY_FILES`` (kept separate to
+#: avoid an import cycle; ``effects.BLOCKING_KERNEL_FILES`` follows the
+#: same convention).
+PARITY_KERNEL_FILES = (
+    "repro/core/batch.py",
+    "repro/core/cycle.py",
+    "repro/core/superposition.py",
+    "repro/core/changepoint.py",
+)
+
+#: Containment seams modeled as direct calls: ``run_guarded(f, *a)``
+#: behaves, numerically, exactly like ``f(*a)``.
+_GUARD_CALLS = frozenset({"run_guarded"})
+
+#: Structured abstract values deeper than this collapse to their worst
+#: scalar level — a widening that bounds the heap the fixpoint walks.
+_MAX_DEPTH = 3
+
+#: Bound on the sink-chain length recorded for messages.
+_MAX_CHAIN = 8
+
+
+@dataclass
+class TupleVal:
+    """Positional product value (tuple returns, unpacking)."""
+
+    elements: List["Value"]
+
+
+@dataclass
+class DictVal:
+    """String-keyed record (``dict(t=..., v=...)``, ``st["t"]``).
+
+    ``default`` absorbs stores through non-constant keys
+    (``states[key] = state``) and answers loads through them.
+    """
+
+    entries: Dict[str, "Value"] = field(default_factory=dict)
+    default: "Value" = None
+
+
+@dataclass
+class ListVal:
+    """Homogeneous sequence (list literals, comprehensions, appends)."""
+
+    element: "Value" = None
+
+
+Value = Union[None, int, TupleVal, DictVal, ListVal]
+
+
+def _cap(val: Value, depth: int = 0) -> Value:
+    """Collapse structure deeper than ``_MAX_DEPTH`` to its worst level."""
+    if val is None or isinstance(val, int):
+        return val
+    if depth >= _MAX_DEPTH:
+        return worst(val)
+    if isinstance(val, TupleVal):
+        return TupleVal([_cap(e, depth + 1) for e in val.elements])
+    if isinstance(val, ListVal):
+        return ListVal(_cap(val.element, depth + 1))
+    return DictVal(
+        {k: _cap(v, depth + 1) for k, v in val.entries.items()},
+        _cap(val.default, depth + 1),
+    )
+
+
+def clone(val: Value) -> Value:
+    """Deep copy so joins into one frame never alias another's state."""
+    if val is None or isinstance(val, int):
+        return val
+    if isinstance(val, TupleVal):
+        return TupleVal([clone(e) for e in val.elements])
+    if isinstance(val, ListVal):
+        return ListVal(clone(val.element))
+    return DictVal(
+        {k: clone(v) for k, v in val.entries.items()}, clone(val.default)
+    )
+
+
+def worst(val: Value) -> Optional[int]:
+    """Worst scalar level anywhere inside *val* (None if fully untracked)."""
+    if val is None or isinstance(val, int):
+        return val
+    if isinstance(val, TupleVal):
+        parts = [worst(e) for e in val.elements]
+    elif isinstance(val, ListVal):
+        parts = [worst(val.element)]
+    else:
+        parts = [worst(v) for v in val.entries.values()]
+        parts.append(worst(val.default))
+    levels = [p for p in parts if p is not None]
+    return max(levels) if levels else None
+
+
+def join(a: Value, b: Value) -> Value:
+    """Least upper bound; ``None`` (untracked) is the bottom element."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if isinstance(a, int) and isinstance(b, int):
+        return max(a, b)
+    if (
+        isinstance(a, TupleVal)
+        and isinstance(b, TupleVal)
+        and len(a.elements) == len(b.elements)
+    ):
+        return TupleVal(
+            [join(x, y) for x, y in zip(a.elements, b.elements)]
+        )
+    if isinstance(a, ListVal) and isinstance(b, ListVal):
+        return ListVal(join(a.element, b.element))
+    if isinstance(a, DictVal) and isinstance(b, DictVal):
+        keys = set(a.entries) | set(b.entries)
+        return DictVal(
+            {k: join(a.entries.get(k), b.entries.get(k)) for k in keys},
+            join(a.default, b.default),
+        )
+    # structurally incompatible: widen to the worst scalar level
+    wa, wb = worst(a), worst(b)
+    if wa is None:
+        return wb
+    if wb is None:
+        return wa
+    return max(wa, wb)
+
+
+def _sig(val: Value, depth: int = 0) -> object:
+    """Hashable signature for change detection in the fixpoint."""
+    if val is None or isinstance(val, int):
+        return val
+    if depth > _MAX_DEPTH + 1:
+        return "..."
+    if isinstance(val, TupleVal):
+        return ("T",) + tuple(_sig(e, depth + 1) for e in val.elements)
+    if isinstance(val, ListVal):
+        return ("L", _sig(val.element, depth + 1))
+    return (
+        "D",
+        tuple(
+            sorted((k, _sig(v, depth + 1)) for k, v in val.entries.items())
+        ),
+        _sig(val.default, depth + 1),
+    )
+
+
+def leq(a: Value, b: Value) -> bool:
+    """Whether *a* ⊑ *b* in the induced order (``join(a, b) == b``)."""
+    return _sig(join(a, b)) == _sig(b)
+
+
+# ----------------------------------------------------------------------
+# Dtype classification (the transfer function for dtype expressions)
+# ----------------------------------------------------------------------
+
+_EXACT_TAILS = frozenset(
+    {
+        "float64", "double", "float_", "longdouble",
+        "int8", "int16", "int32", "int64", "intp", "int_",
+        "uint8", "uint16", "uint32", "uint64", "uintp",
+        "bool_", "complex128", "complex_",
+    }
+)
+_SUB_TAILS = frozenset({"float32", "float16", "half", "single", "csingle"})
+_EXACT_STRINGS = frozenset(
+    {"float64", "f8", "d", "i1", "i2", "i4", "i8", "u1", "u2", "u4",
+     "u8", "b", "b1", "int64", "int32", "bool", "c16"}
+)
+_AMBIG_STRINGS = frozenset({"float"})
+_SUB_STRINGS = frozenset(
+    {"float32", "float16", "half", "single", "f", "f2", "f4", "e", "c8"}
+)
+
+
+def dtype_level(node: ast.expr) -> int:
+    """Precision level a ``dtype=`` expression pins a value to."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        s = node.value.lstrip("<>=|")
+        if s in _SUB_STRINGS:
+            return SUB
+        if s in _AMBIG_STRINGS:
+            return AMBIGUOUS
+        if s in _EXACT_STRINGS:
+            return EXACT
+        return UNKNOWN
+    chain = _dotted_chain(node)
+    if chain:
+        tail = chain[-1]
+        if tail in _SUB_TAILS:
+            return SUB
+        if tail in _EXACT_TAILS:
+            return EXACT
+        if tail == "float" and len(chain) == 1:
+            # the builtin: float64 in fact, ambiguous in spelling
+            return AMBIGUOUS
+        if tail in ("int", "bool", "complex") and len(chain) == 1:
+            return EXACT
+    return UNKNOWN
+
+
+def _dotted_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return tuple(parts)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Per-function machinery
+# ----------------------------------------------------------------------
+
+#: NumPy constructors whose *default* dtype is exact (float64 / int64).
+_DEFAULT_F64_CONSTRUCTORS = frozenset(
+    {
+        "zeros", "ones", "empty", "full", "arange", "linspace",
+        "logspace", "geomspace", "eye", "identity", "nan_to_num",
+    }
+)
+
+#: Coercions whose second positional argument is the dtype.
+_DTYPE_POSITIONAL = {
+    "asarray": 1, "ascontiguousarray": 1, "array": 1,
+    "asfortranarray": 1, "frombuffer": 1,
+    "zeros": 1, "ones": 1, "empty": 1, "full": 2,
+}
+
+
+@dataclass
+class CallRecord:
+    """A resolved in-tree call, guard seams already unwrapped."""
+
+    node: ast.Call
+    callee: str
+    args: List[ast.expr]
+    keywords: List[ast.keyword]
+
+
+@dataclass
+class NumericSummary:
+    """Per-function precision facts the fixpoint converges on."""
+
+    qualname: str
+    #: Joined precision of every tracked value each parameter receives.
+    params: Dict[str, Value] = field(default_factory=dict)
+    #: Joined abstract value of all ``return`` expressions.
+    returns: Value = None
+    #: Return annotation names ``ndarray`` — untracked returns are
+    #: floored at UNKNOWN (the producer owes the parity tier a proof).
+    tracked: bool = False
+    #: Dtype-valued parameters (``dtype: npt.DTypeLike = float``):
+    #: joined level of every dtype expression bound at call sites,
+    #: seeded with the default's level.  Lets ``np.asarray(x,
+    #: dtype=dtype)`` inside a validator resolve interprocedurally
+    #: instead of collapsing to UNKNOWN.
+    dtype_params: Dict[str, int] = field(default_factory=dict)
+    #: Parameters that reach a parity-kernel parameter when passed
+    #: through bare, mapped to the call chain down to the kernel.
+    sink_params: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PrecisionViolation:
+    """A sub-float64 / unproven value meeting a parity sink."""
+
+    qualname: str  #: function whose body contains the offending call
+    path: str
+    lineno: int
+    col: int
+    callee: str  #: direct callee receiving the value
+    param: str  #: sink parameter on the callee
+    kernel_chain: Tuple[str, ...]  #: callee → … → parity kernel
+    level: int  #: SUB or UNKNOWN
+
+
+@dataclass
+class NumericAnalysis:
+    """What :func:`build_numeric` hands to the rules via ``Program``."""
+
+    summaries: Dict[str, NumericSummary] = field(default_factory=dict)
+    violations: List[PrecisionViolation] = field(default_factory=list)
+    #: callee qualname -> (caller qualname, lineno, col) of every
+    #: numeric call record, guard seams unwrapped — the edges REP017
+    #: walks to charge a violation at its public entry.
+    callers: Dict[str, List[Tuple[str, int, int]]] = field(
+        default_factory=dict
+    )
+
+
+def _returns_ndarray(fn: FunctionInfo) -> bool:
+    ann = getattr(fn.node, "returns", None)
+    if ann is None:
+        return False
+    try:
+        text = ast.unparse(ann)
+    except (ValueError, AttributeError):  # pragma: no cover - malformed
+        return False
+    return "ndarray" in text
+
+
+def _dtype_param_defaults(fn: FunctionInfo) -> Dict[str, int]:
+    """Dtype-valued parameters of *fn* and their defaults' levels.
+
+    A parameter is dtype-valued when its name is ``dtype`` or its
+    annotation mentions ``DType`` (``npt.DTypeLike``).  The returned
+    level seeds the interprocedural join — call sites that bind the
+    parameter join their expression's level on top.
+    """
+    args = fn.node.args
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults: Dict[str, Optional[ast.expr]] = {}
+    pad = len(positional) - len(args.defaults)
+    for i, a in enumerate(positional):
+        defaults[a.arg] = args.defaults[i - pad] if i >= pad else None
+    for a, d in zip(args.kwonlyargs, args.kw_defaults):
+        defaults[a.arg] = d
+    out: Dict[str, int] = {}
+    for a in positional + list(args.kwonlyargs):
+        is_dtype = a.arg == "dtype"
+        if not is_dtype and a.annotation is not None:
+            try:
+                is_dtype = "DType" in ast.unparse(a.annotation)
+            except (ValueError, AttributeError):  # pragma: no cover
+                is_dtype = False
+        if not is_dtype:
+            continue
+        default = defaults.get(a.arg)
+        out[a.arg] = dtype_level(default) if default is not None else UNKNOWN
+    return out
+
+
+def _call_records(fn: FunctionInfo, graph: CallGraph) -> List[CallRecord]:
+    """Resolved calls in *fn*, with ``run_guarded`` seams unwrapped."""
+    site_by_node = {id(site.node): site.callee for site in fn.calls}
+    records: List[CallRecord] = []
+    for node in own_nodes(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        tail = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if tail in _GUARD_CALLS and node.args and fn.env is not None:
+            target = _resolve_func_ref(node.args[0], fn.env, graph)
+            if target is not None and target in graph.functions:
+                records.append(
+                    CallRecord(
+                        node, target, list(node.args[1:]),
+                        list(node.keywords),
+                    )
+                )
+                continue
+        callee = site_by_node.get(id(node))
+        if callee is not None and callee in graph.functions:
+            records.append(
+                CallRecord(node, callee, list(node.args), list(node.keywords))
+            )
+    return records
+
+
+def _callee_params(callee_fn: FunctionInfo) -> List[str]:
+    params = list(callee_fn.params)
+    if callee_fn.cls is not None and params[:1] in (["self"], ["cls"]):
+        params = params[1:]
+    return params
+
+
+def _map_args(
+    callee_fn: FunctionInfo, rec: CallRecord
+) -> Iterator[Tuple[str, ast.expr]]:
+    """Pair each argument expression with the parameter it binds."""
+    params = _callee_params(callee_fn)
+    for i, arg in enumerate(rec.args):
+        if isinstance(arg, ast.Starred) or i >= len(params):
+            break
+        yield params[i], arg
+    named = set(params)
+    for kw in rec.keywords:
+        if kw.arg is not None and kw.arg in named:
+            yield kw.arg, kw.value
+
+
+# ----------------------------------------------------------------------
+# Expression evaluation (the transfer functions)
+# ----------------------------------------------------------------------
+
+class _Evaluator:
+    """Evaluates expressions to abstract values under a local env."""
+
+    def __init__(
+        self,
+        fn: FunctionInfo,
+        env: Dict[str, Value],
+        summaries: Dict[str, NumericSummary],
+        records_by_node: Dict[int, CallRecord],
+        dtype_params: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.fn = fn
+        self.env = env
+        self.summaries = summaries
+        self.records_by_node = records_by_node
+        self.dtype_params = dtype_params or {}
+
+    def dtype_of(self, node: ast.expr) -> int:
+        """Like :func:`dtype_level`, resolving dtype-valued parameters."""
+        if isinstance(node, ast.Name) and node.id in self.dtype_params:
+            return self.dtype_params[node.id]
+        return dtype_level(node)
+
+    def eval(self, node: ast.expr) -> Value:
+        if isinstance(node, ast.Constant):
+            return EXACT if isinstance(node.value, (int, float, bool)) else None
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.Tuple):
+            return _cap(TupleVal([self.eval(e) for e in node.elts]))
+        if isinstance(node, ast.List):
+            out: Value = None
+            for e in node.elts:
+                out = join(out, self.eval(e))
+            return _cap(ListVal(out))
+        if isinstance(node, ast.Dict):
+            d = DictVal()
+            for key, value in zip(node.keys, node.values):
+                v = self.eval(value)
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                ):
+                    d.entries[key.value] = join(
+                        d.entries.get(key.value), v
+                    )
+                else:
+                    d.default = join(d.default, v)
+            return _cap(d)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            return _cap(ListVal(self._eval_comprehension(node)))
+        if isinstance(node, ast.IfExp):
+            return join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.BinOp):
+            return join(
+                self._scalarize(self.eval(node.left)),
+                self._scalarize(self.eval(node.right)),
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out = None
+            for v in node.values:
+                out = join(out, self.eval(v))
+            return out
+        if isinstance(node, ast.Compare):
+            return None  # boolean masks: exact by construction
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        return None
+
+    def _scalarize(self, val: Value) -> Value:
+        """Arithmetic over containers degrades to the worst level."""
+        if val is None or isinstance(val, int):
+            return val
+        return worst(val)
+
+    def _eval_comprehension(self, node: ast.expr) -> Value:
+        targets: Set[str] = set()
+        for gen in node.generators:  # type: ignore[attr-defined]
+            for sub in ast.walk(gen.target):
+                if isinstance(sub, ast.Name):
+                    targets.add(sub.id)
+        saved = {t: self.env.get(t) for t in targets}
+        try:
+            for t in targets:
+                self.env[t] = None
+            return self.eval(node.elt)  # type: ignore[attr-defined]
+        finally:
+            for t, v in saved.items():
+                if v is None:
+                    self.env.pop(t, None)
+                else:
+                    self.env[t] = v
+
+    def _eval_subscript(self, node: ast.Subscript) -> Value:
+        base = self.eval(node.value)
+        if base is None:
+            return None
+        if isinstance(base, int):
+            return base  # indexing / slicing a tracked array preserves dtype
+        key = node.slice
+        if isinstance(base, DictVal):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                return join(base.entries.get(key.value), None)
+            return base.default
+        if isinstance(base, TupleVal):
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, int)
+                and 0 <= key.value < len(base.elements)
+            ):
+                return base.elements[key.value]
+            return worst(base)
+        if isinstance(base, ListVal):
+            return base.element
+        return None
+
+    def _eval_call(self, node: ast.Call) -> Value:
+        rec = self.records_by_node.get(id(node))
+        if rec is not None:
+            summary = self.summaries.get(rec.callee)
+            if summary is not None:
+                return clone(summary.returns)
+            return None
+        func = node.func
+        # dict(t=..., v=...) record construction
+        if isinstance(func, ast.Name) and func.id == "dict":
+            d = DictVal()
+            for kw in node.keywords:
+                if kw.arg is not None:
+                    d.entries[kw.arg] = join(
+                        d.entries.get(kw.arg), self.eval(kw.value)
+                    )
+                else:
+                    d.default = join(d.default, worst(self.eval(kw.value)))
+            return _cap(d)
+        if isinstance(func, ast.Name):
+            if func.id == "float":
+                return EXACT
+            if func.id in ("sorted", "list", "tuple", "reversed") and node.args:
+                return self.eval(node.args[0])
+            return None
+        if isinstance(func, ast.Attribute):
+            return self._eval_method(node, func)
+        return None
+
+    def _dtype_of_call(
+        self, node: ast.Call, positional: Optional[int]
+    ) -> Optional[int]:
+        for kw in node.keywords:
+            if kw.arg == "dtype":
+                return self.dtype_of(kw.value)
+        if positional is not None and len(node.args) > positional:
+            return self.dtype_of(node.args[positional])
+        return None
+
+    def _eval_method(self, node: ast.Call, func: ast.Attribute) -> Value:
+        attr = func.attr
+        if attr == "astype":
+            # the blessing operation: result dtype is exactly the argument
+            if node.args:
+                return self.dtype_of(node.args[0])
+            lvl = self._dtype_of_call(node, None)
+            return lvl if lvl is not None else UNKNOWN
+        chain = _dotted_chain(func)
+        if chain is not None and chain[0] in ("np", "numpy"):
+            pinned = self._dtype_of_call(node, _DTYPE_POSITIONAL.get(attr))
+            if pinned is not None:
+                return pinned
+            if attr in _DEFAULT_F64_CONSTRUCTORS:
+                return EXACT
+            out: Value = None
+            for arg in node.args:
+                out = join(out, self._scalarize(self.eval(arg)))
+            for kw in node.keywords:
+                out = join(out, self._scalarize(self.eval(kw.value)))
+            return out
+        if chain is not None and chain[0] == "math":
+            return EXACT if attr == "fsum" else None
+        receiver = self.eval(func.value)
+        if isinstance(receiver, int):
+            return receiver  # array methods preserve the array's dtype
+        if isinstance(receiver, DictVal):
+            if attr == "get" and node.args:
+                key = node.args[0]
+                if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                    return join(receiver.entries.get(key.value), receiver.default)
+                return receiver.default
+            if attr == "copy":
+                return clone(receiver)
+            if attr == "values":
+                out = receiver.default
+                for v in receiver.entries.values():
+                    out = join(out, v)
+                return ListVal(out)
+            return None
+        if isinstance(receiver, ListVal):
+            if attr in ("copy", "pop"):
+                return receiver if attr == "copy" else receiver.element
+            return None
+        return None
+
+
+# ----------------------------------------------------------------------
+# Local environment (flow-insensitive, per-function fixpoint)
+# ----------------------------------------------------------------------
+
+_LOCAL_PASS_LIMIT = 8
+
+#: Receiver-mutating methods modeled by :func:`_apply_mutator`.
+_MUTATORS = frozenset({"update", "append", "extend"})
+
+
+@dataclass
+class _FnData:
+    """Per-function facts extracted once, before the fixpoint runs.
+
+    The worklist revisits a function many times; re-walking its whole
+    AST each visit dominated the analysis cost, so the transfer-relevant
+    statements are pre-extracted here (in source order — the local pass
+    loop makes order-independence a non-issue anyway).
+    """
+
+    fn: FunctionInfo
+    records: List[CallRecord]
+    records_by_node: Dict[int, CallRecord]
+    #: Assign / AnnAssign / AugAssign / For / mutator-Call nodes, in
+    #: source order, dispatched by isinstance in :func:`_local_env`.
+    stmts: List[ast.AST]
+    returns: List[ast.Return]
+
+
+def _extract(fn: FunctionInfo, records: List[CallRecord]) -> _FnData:
+    stmts: List[ast.AST] = []
+    returns: List[ast.Return] = []
+    for node in own_nodes(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.For)):
+            stmts.append(node)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is not None:
+                stmts.append(node)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and isinstance(func.value, ast.Name)
+            ):
+                stmts.append(node)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            returns.append(node)
+    return _FnData(
+        fn=fn,
+        records=records,
+        records_by_node={id(r.node): r for r in records},
+        stmts=stmts,
+        returns=returns,
+    )
+
+
+def _local_env(
+    data: _FnData,
+    summary: NumericSummary,
+    summaries: Dict[str, NumericSummary],
+) -> Tuple[Dict[str, Value], _Evaluator]:
+    """Converged name → value map for the function's body.
+
+    Flow-insensitive: every assignment joins into its target, so a
+    rebinding like ``x = x.astype(np.float64)`` does *not* launder
+    precision — blessings must wrap the expression at the seam
+    (``dict(t=t.astype(np.float64), ...)``), which is also where the
+    canary tests cut.
+    """
+    env: Dict[str, Value] = {
+        p: clone(v) for p, v in summary.params.items() if v is not None
+    }
+    ev = _Evaluator(
+        data.fn, env, summaries, data.records_by_node, summary.dtype_params
+    )
+    for _ in range(_LOCAL_PASS_LIMIT):
+        before = {k: _sig(v) for k, v in env.items()}
+        for node in data.stmts:
+            if isinstance(node, ast.Assign):
+                val = ev.eval(node.value)
+                for tgt in node.targets:
+                    _assign(ev, tgt, val)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                _assign(ev, node.target, ev.eval(node.value))
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    env[node.target.id] = join(
+                        env.get(node.target.id),
+                        ev._scalarize(ev.eval(node.value)),
+                    )
+            elif isinstance(node, ast.For):
+                if isinstance(node.target, ast.Name):
+                    env[node.target.id] = join(
+                        env.get(node.target.id),
+                        _element_of(ev.eval(node.iter)),
+                    )
+            elif isinstance(node, ast.Call):
+                _apply_mutator(ev, node)
+        after = {k: _sig(v) for k, v in env.items()}
+        if after == before:
+            break
+    return env, ev
+
+
+def _element_of(val: Value) -> Value:
+    if val is None:
+        return None
+    if isinstance(val, int):
+        return val  # iterating an array yields rows of the same dtype
+    if isinstance(val, ListVal):
+        return val.element
+    if isinstance(val, TupleVal):
+        return worst(val)
+    if isinstance(val, DictVal):
+        return None  # iterating a dict yields keys
+    return None
+
+
+def _assign(ev: _Evaluator, target: ast.expr, val: Value) -> None:
+    env = ev.env
+    if isinstance(target, ast.Name):
+        env[target.id] = join(env.get(target.id), clone(val))
+        return
+    if isinstance(target, (ast.Tuple, ast.List)):
+        parts: List[Value]
+        if isinstance(val, TupleVal) and len(val.elements) == len(target.elts):
+            parts = list(val.elements)
+        elif isinstance(val, int):
+            parts = [val] * len(target.elts)
+        elif isinstance(val, ListVal):
+            parts = [val.element] * len(target.elts)
+        else:
+            parts = [None] * len(target.elts)
+        for tgt, part in zip(target.elts, parts):
+            _assign(ev, tgt, part)
+        return
+    if isinstance(target, ast.Subscript):
+        _store_subscript(ev, target, val)
+
+
+def _store_subscript(ev: _Evaluator, target: ast.Subscript, val: Value) -> None:
+    base_expr = target.value
+    key = target.slice
+    # one level: states[key] = ..., st["mag"] = ...
+    if isinstance(base_expr, ast.Name):
+        base = ev.env.get(base_expr.id)
+        if isinstance(base, DictVal):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                base.entries[key.value] = join(
+                    base.entries.get(key.value), clone(val)
+                )
+            else:
+                base.default = join(base.default, clone(val))
+        elif isinstance(base, ListVal):
+            base.element = join(base.element, clone(val))
+        # stores into a tracked array (int level) keep the array's own
+        # dtype — NumPy casts the stored value — so they are ignored.
+        return
+    # two levels: states[key]["mag"] = ...
+    if isinstance(base_expr, ast.Subscript) and isinstance(
+        base_expr.value, ast.Name
+    ):
+        outer = ev.env.get(base_expr.value.id)
+        inner: Value = None
+        if isinstance(outer, DictVal):
+            inner_key = base_expr.slice
+            if isinstance(inner_key, ast.Constant) and isinstance(
+                inner_key.value, str
+            ):
+                inner = outer.entries.get(inner_key.value)
+            else:
+                inner = outer.default
+        elif isinstance(outer, ListVal):
+            inner = outer.element
+        if isinstance(inner, DictVal):
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                inner.entries[key.value] = join(
+                    inner.entries.get(key.value), clone(val)
+                )
+            else:
+                inner.default = join(inner.default, clone(val))
+
+
+def _apply_mutator(ev: _Evaluator, node: ast.Call) -> None:
+    """Model ``d.update(...)`` / ``xs.append(...)`` on tracked locals."""
+    func = node.func
+    if not (
+        isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)
+    ):
+        return
+    base = ev.env.get(func.value.id)
+    if isinstance(base, DictVal) and func.attr == "update":
+        for kw in node.keywords:
+            v = ev.eval(kw.value)
+            if kw.arg is not None:
+                base.entries[kw.arg] = join(base.entries.get(kw.arg), v)
+            else:
+                merged = v
+                if isinstance(merged, DictVal):
+                    for k, sub in merged.entries.items():
+                        base.entries[k] = join(base.entries.get(k), sub)
+                    base.default = join(base.default, merged.default)
+        for arg in node.args:
+            v = ev.eval(arg)
+            if isinstance(v, DictVal):
+                for k, sub in v.entries.items():
+                    base.entries[k] = join(base.entries.get(k), sub)
+                base.default = join(base.default, v.default)
+    elif isinstance(base, ListVal) and func.attr in ("append", "extend"):
+        for arg in node.args:
+            v = ev.eval(arg)
+            if func.attr == "extend":
+                v = _element_of(v)
+            base.element = join(base.element, v)
+
+
+# ----------------------------------------------------------------------
+# Interprocedural fixpoint
+# ----------------------------------------------------------------------
+
+def _floor_unknown(val: Value) -> Value:
+    """Annotated ndarray producers owe a proof: untracked → UNKNOWN."""
+    if val is None:
+        return UNKNOWN
+    if isinstance(val, int):
+        return val
+    if isinstance(val, TupleVal):
+        return TupleVal([_floor_unknown(e) for e in val.elements])
+    if isinstance(val, ListVal):
+        return ListVal(_floor_unknown(val.element))
+    return val
+
+
+#: Worklist safety valve — far above what monotone joins can need
+#: (every summary can only climb the lattice a bounded number of times),
+#: so hitting it would indicate a non-monotone transfer bug.
+_WORKLIST_FACTOR = 50
+
+
+def build_numeric(graph: CallGraph) -> NumericAnalysis:
+    """Run the precision fixpoint and collect parity-sink violations.
+
+    Worklist-driven: a function is revisited only when something it
+    depends on moved — a callee's return climbed, one of its own
+    parameters climbed (a caller passed something worse), or a callee
+    parameter became a sink conduit.  With per-function statements
+    pre-extracted (:func:`_extract`), whole-tree analysis stays well
+    inside the CI time budget where a naive full-sweep loop did not.
+    """
+    summaries: Dict[str, NumericSummary] = {}
+    data_map: Dict[str, _FnData] = {}
+    callers: Dict[str, List[Tuple[str, int, int]]] = {}
+    caller_quals: Dict[str, Set[str]] = {}
+    for qual, fn in graph.functions.items():
+        summaries[qual] = NumericSummary(
+            qualname=qual,
+            params={p: None for p in _callee_params(fn)},
+            tracked=_returns_ndarray(fn),
+            dtype_params=_dtype_param_defaults(fn),
+        )
+        if module_path(fn.path) in PARITY_KERNEL_FILES:
+            summaries[qual].sink_params = {
+                p: (qual,) for p in _callee_params(fn)
+            }
+    for qual, fn in graph.functions.items():
+        data_map[qual] = _extract(fn, _call_records(fn, graph))
+        for rec in data_map[qual].records:
+            callers.setdefault(rec.callee, []).append(
+                (qual, rec.node.lineno, rec.node.col_offset)
+            )
+            caller_quals.setdefault(rec.callee, set()).add(qual)
+
+    queue = deque(graph.functions)
+    queued: Set[str] = set(queue)
+
+    def push(target: str) -> None:
+        if target in summaries and target not in queued:
+            queue.append(target)
+            queued.add(target)
+
+    # Parameter facts flow through per-(callee, caller) *contribution*
+    # maps, recomputed fresh every time the caller is visited, rather
+    # than historical joins.  The tracked-return floor makes the system
+    # transiently non-monotone (a producer evaluated before its inputs
+    # arrive reports UNKNOWN, then recovers) — sticky joins would
+    # freeze that transient into the final answer; fresh recomputation
+    # lets it heal, and convergence still holds because each value
+    # makes the untracked→tracked transition at most once.
+    contribs: Dict[str, Dict[str, Dict[str, Value]]] = {}
+
+    def run(floor_active: bool) -> None:
+        steps = 0
+        budget = _WORKLIST_FACTOR * len(graph.functions) + 100
+        while queue and steps < budget:
+            steps += 1
+            qual = queue.popleft()
+            queued.discard(qual)
+            fn = graph.functions[qual]
+            summary = summaries[qual]
+            data = data_map[qual]
+            # refresh own parameters from the current contributions
+            incoming = contribs.get(qual)
+            if incoming is not None:
+                fresh: Dict[str, Value] = {p: None for p in summary.params}
+                for caller_map in incoming.values():
+                    for param, val in caller_map.items():
+                        if param in fresh:
+                            fresh[param] = _cap(
+                                join(fresh[param], clone(val))
+                            )
+                summary.params = fresh
+            env, ev = _local_env(data, summary, summaries)
+            ret: Value = None
+            for node in data.returns:
+                ret = join(ret, ev.eval(node.value))
+            if floor_active and summary.tracked:
+                ret = _floor_unknown(ret)
+            merged = _cap(ret)
+            if _sig(merged) != _sig(summary.returns):
+                summary.returns = merged
+                for caller in caller_quals.get(qual, ()):
+                    push(caller)
+            outgoing: Dict[str, Dict[str, Value]] = {}
+            for rec in data.records:
+                callee_fn = graph.functions[rec.callee]
+                callee = summaries[rec.callee]
+                contrib = outgoing.setdefault(rec.callee, {})
+                for param, arg in _map_args(callee_fn, rec):
+                    if param in callee.dtype_params:
+                        # dtype-valued parameter: join the dtype level
+                        # the site pins, not an abstract array value
+                        # (these only climb, so a sticky max is exact)
+                        lvl = ev.dtype_of(arg)
+                        if lvl > callee.dtype_params[param]:
+                            callee.dtype_params[param] = lvl
+                            push(rec.callee)
+                        continue
+                    if param not in callee.params:
+                        continue
+                    val = ev.eval(arg)
+                    if val is None:
+                        continue
+                    contrib[param] = _cap(join(contrib.get(param), val))
+                # backward: a bare parameter forwarded into a sink
+                # makes the forwarding parameter a sink (conduit) —
+                # runs even when the forwarded value is untracked
+                for param, arg in _map_args(callee_fn, rec):
+                    chain = callee.sink_params.get(param)
+                    if (
+                        chain is not None
+                        and isinstance(arg, ast.Name)
+                        and arg.id in fn.params
+                        and arg.id not in summary.sink_params
+                    ):
+                        summary.sink_params[arg.id] = ((qual,) + chain)[
+                            :_MAX_CHAIN
+                        ]
+                        for caller in caller_quals.get(qual, ()):
+                            push(caller)
+            for callee_qual, contrib in outgoing.items():
+                stored = contribs.setdefault(callee_qual, {}).get(qual)
+                if stored is None or {
+                    p: _sig(v) for p, v in stored.items()
+                } != {p: _sig(v) for p, v in contrib.items()}:
+                    contribs[callee_qual][qual] = contrib
+                    push(callee_qual)
+
+    # Phase 1: the pure least fixpoint, floors off.  Applying the
+    # tracked-return floor *during* the fixpoint would turn every
+    # dependency cycle into self-sustaining UNKNOWN: each member's
+    # return is None only because the others are pending, the floor
+    # promotes that transient to UNKNOWN, and the cycle feeds it back.
+    run(floor_active=False)
+    # Phase 2: floor the genuinely unmodeled tracked producers (their
+    # returns stayed None with every input resolved) and re-propagate.
+    # Only they and their transitive callers can move, so re-seeding
+    # the full worklist converges in near-one visit per function.
+    for qual in summaries:
+        push(qual)
+    run(floor_active=True)
+
+    violations = _collect_violations(graph, summaries, data_map)
+    return NumericAnalysis(
+        summaries=summaries, violations=violations, callers=callers
+    )
+
+
+def _collect_violations(
+    graph: CallGraph,
+    summaries: Dict[str, NumericSummary],
+    data_map: Dict[str, _FnData],
+) -> List[PrecisionViolation]:
+    out: List[PrecisionViolation] = []
+    seen: Set[Tuple[str, int, int, str, str]] = set()
+    for qual, fn in graph.functions.items():
+        summary = summaries[qual]
+        data = data_map[qual]
+        _, ev = _local_env(data, summary, summaries)
+        for rec in data.records:
+            callee_fn = graph.functions[rec.callee]
+            callee = summaries[rec.callee]
+            for param, arg in _map_args(callee_fn, rec):
+                chain = callee.sink_params.get(param)
+                if chain is None:
+                    continue
+                if isinstance(arg, ast.Name) and arg.id in fn.params:
+                    continue  # conduit: charged at the callers instead
+                level = worst(ev.eval(arg))
+                if level not in (SUB, UNKNOWN):
+                    continue
+                key = (fn.path, rec.node.lineno, rec.node.col_offset,
+                       rec.callee, param)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(
+                    PrecisionViolation(
+                        qualname=qual,
+                        path=fn.path,
+                        lineno=rec.node.lineno,
+                        col=rec.node.col_offset,
+                        callee=rec.callee,
+                        param=param,
+                        kernel_chain=chain,
+                        level=level,  # type: ignore[arg-type]
+                    )
+                )
+    out.sort(key=lambda v: (v.path, v.lineno, v.col, v.callee, v.param))
+    return out

@@ -31,6 +31,7 @@ from .effects import (
     expr_unordered,
     unordered_locals,
 )
+from .numeric import LEVEL_NAMES, PrecisionViolation
 
 __all__ = [
     "Finding",
@@ -463,9 +464,49 @@ class ParityDtypeRule(Rule):
     _COERCIONS = frozenset({"asarray", "ascontiguousarray", "array", "frombuffer"})
     _F32 = frozenset({"float32", "single", "half", "float16"})
     _F32_STRINGS = frozenset({"float32", "float16", "f4", "f2", "<f4", ">f4"})
+    #: Sub-float64 dtype spellings only meaningful *in dtype position*
+    #: (a bare "f" constant elsewhere is not a dtype).
+    _F32_DTYPE_STRINGS = _F32_STRINGS | frozenset({"f", "e", "<f2", ">f2"})
+    #: float64-in-fact but ambiguous spellings: the builtin ``float``
+    #: and its string twin leave the reader (and grep) unsure the
+    #: parity contract is intentional — write ``np.float64``.
+    _AMBIGUOUS_DTYPES = frozenset({"float"})
 
     def applies(self, mod_path: str) -> bool:
         return mod_path in PARITY_FILES
+
+    def _dtype_spelling(
+        self, path: str, expr: ast.expr, context: str
+    ) -> Iterator[Finding]:
+        """Ambiguous / sub-float64 spellings in dtype position."""
+        if isinstance(expr, ast.Name) and expr.id in self._AMBIGUOUS_DTYPES:
+            yield self.finding(
+                path,
+                expr,
+                f"{context} uses the builtin `float` as a dtype: float64 in "
+                f"fact but ambiguous in spelling; write np.float64 so the "
+                f"parity contract is explicit",
+            )
+        elif isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            if expr.value in self._AMBIGUOUS_DTYPES:
+                yield self.finding(
+                    path,
+                    expr,
+                    f"{context} spells the dtype as {expr.value!r}; write "
+                    f"np.float64 so the parity contract is explicit",
+                )
+            elif (
+                expr.value in self._F32_DTYPE_STRINGS
+                and expr.value not in self._F32_STRINGS
+                # _F32_STRINGS fire from the position-independent
+                # constant scan; don't report those twice
+            ):
+                yield self.finding(
+                    path,
+                    expr,
+                    f"{context} dtype {expr.value!r} downcasts below float64 "
+                    f"in a parity-critical kernel",
+                )
 
     def check(self, tree: ast.AST, path: str, mod_path: str) -> Iterator[Finding]:
         for node in ast.walk(tree):
@@ -491,12 +532,31 @@ class ParityDtypeRule(Rule):
                         f"in a parity-critical kernel",
                     )
             elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "astype"
+                    and node.args
+                ):
+                    yield from self._dtype_spelling(
+                        path, node.args[0], ".astype(...)"
+                    )
                 chain = dotted_name(node.func)
                 if chain is None:
                     continue
                 parts = chain.split(".")
-                if parts[0] not in ("np", "numpy") or parts[-1] not in self._COERCIONS:
+                if parts[0] not in ("np", "numpy"):
                     continue
+                for kw in node.keywords:
+                    if kw.arg == "dtype":
+                        yield from self._dtype_spelling(
+                            path, kw.value, f"`{chain}(...)`"
+                        )
+                if parts[-1] not in self._COERCIONS:
+                    continue
+                if len(node.args) >= 2:
+                    yield from self._dtype_spelling(
+                        path, node.args[1], f"`{chain}(...)`"
+                    )
                 has_dtype = len(node.args) >= 2 or any(
                     kw.arg == "dtype" for kw in node.keywords
                 )
@@ -505,8 +565,8 @@ class ParityDtypeRule(Rule):
                         path,
                         node,
                         f"`{chain}(...)` without an explicit dtype inherits the "
-                        f"caller's (possibly float32) dtype; pass dtype=float "
-                        f"to pin the parity contract",
+                        f"caller's (possibly float32) dtype; pass "
+                        f"dtype=np.float64 to pin the parity contract",
                     )
 
 
@@ -1552,6 +1612,243 @@ class UnusedSuppressionRule(Rule):
         return iter(())
 
 
+class NumericParityRule(ProgramRule):
+    """REP017 — no sub-float64 value reaches a parity-kernel parameter.
+
+    REP005 polices the *spelling* of dtypes inside the kernel files;
+    it cannot see a float32 (or dtype-unproven) array produced three
+    calls away and handed to ``fold_zscore_grid`` through helpers.
+    This rule consumes the precision-lattice fixpoint
+    (:mod:`repro.analysis.numeric`): every parameter of every function
+    in a parity file is a sink, sink-ness flows backward through
+    parameter conduits, and any tracked value whose level is sub-f64
+    or unknown meeting a sink is a finding — charged at the public
+    entry of the call chain (REP007's charging convention), with the
+    full chain down to the kernel named in the message.
+
+    Producers prove exactness with an explicit seam blessing
+    (``.astype(np.float64)`` / ``np.asarray(..., dtype=np.float64)``)
+    at the boundary where raw samples enter the kernel tier — a
+    bit-exact no-op on data that already honors the store's float64
+    contract, and the cut point the canary tests exercise.
+    """
+
+    id = "REP017"
+    summary = "sub-float64 or unproven-precision value reaches a parity-kernel parameter"
+
+    def _entry(
+        self, program: Program, violation: PrecisionViolation
+    ) -> Tuple[str, int, int, List[str]]:
+        """Anchor site + caller chain, walked up to a public entry."""
+        graph = program.graph
+        callers = program.numeric.callers
+        chain_up = [violation.qualname]
+        site = (violation.path, violation.lineno, violation.col)
+        seen = {violation.qualname}
+        current = violation.qualname
+        while True:
+            fn = graph.functions[current]
+            if fn.is_public:
+                break
+            candidates = sorted(
+                c for c in callers.get(current, []) if c[0] not in seen
+            )
+            if not candidates:
+                break
+            caller_qual, line, col = candidates[0]
+            caller_fn = graph.functions[caller_qual]
+            site = (caller_fn.path, line, col)
+            chain_up.append(caller_qual)
+            seen.add(caller_qual)
+            current = caller_qual
+        chain_up.reverse()
+        return site[0], site[1], site[2], chain_up
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        for violation in program.numeric.violations:
+            path, line, col, chain_up = self._entry(program, violation)
+            links = chain_up + list(violation.kernel_chain)
+            chain = " -> ".join(q.rsplit(".", 1)[-1] for q in links)
+            kernel = violation.kernel_chain[-1]
+            yield self.finding_at(
+                path,
+                line,
+                col,
+                f"{LEVEL_NAMES[violation.level]} value reaches float64 "
+                f"parity-kernel parameter `{violation.param}` of `{kernel}` "
+                f"via {chain}; bless the seam with .astype(np.float64) or "
+                f"pin the producer's dtype",
+            )
+
+
+class ReductionOrderRule(ProgramRule):
+    """REP018 — parity-reachable reductions must be order-stable.
+
+    Float addition is not associative: the same multiset of addends
+    summed in two different orders can differ in the last bit, which
+    is exactly the bit the golden fixtures pin.  Within the closure of
+    code reachable from the parity kernels this rule flags the three
+    ways an unstable order sneaks into a reduction: reducing a
+    set-order-tainted value (``unordered_locals`` provenance, the
+    interprocedural REP006/REP009 machinery), accumulating in a loop
+    whose iteration order derives from a set, and ``math.fsum`` —
+    whose compensated result differs from ``np.sum``'s pairwise one —
+    anywhere outside the documented ``FSUM_SEAMS`` allowlist.
+    """
+
+    id = "REP018"
+    summary = "order-unstable reduction inside the parity-reachable closure"
+
+    #: Documented seams allowed to mix ``math.fsum`` into the parity
+    #: closure.  Empty by design: the parity tier pins *one* summation
+    #: scheme (NumPy's pairwise), and a seam earns its row here only
+    #: with a golden fixture proving the scheme change is contained.
+    FSUM_SEAMS: Tuple[str, ...] = ()
+
+    _REDUCERS = SetOrderRule._REDUCERS
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        graph = program.graph
+        effects = program.effects
+        roots = [
+            q
+            for q, fn in graph.functions.items()
+            if module_path(fn.path) in PARITY_FILES
+        ]
+        reachable = graph.reachable_from(roots)
+        for qualname in sorted(reachable):
+            fn = graph.functions.get(qualname)
+            if fn is None:
+                continue
+            tainted = unordered_locals(fn, effects)
+            for node in own_nodes(fn.node):
+                if isinstance(node, ast.Call):
+                    chain = dotted_name(node.func)
+                    parts = chain.split(".") if chain else []
+                    if not parts:
+                        continue
+                    if parts[-1] == "fsum" and (
+                        len(parts) == 1 or parts[0] == "math"
+                    ):
+                        if qualname not in self.FSUM_SEAMS:
+                            yield self.finding_at(
+                                fn.path,
+                                node.lineno,
+                                node.col_offset,
+                                f"`{chain}` in parity-reachable `{qualname}` "
+                                f"mixes fsum's compensated summation with "
+                                f"np.sum's pairwise scheme; the parity tier "
+                                f"pins one reduction order (see "
+                                f"ReductionOrderRule.FSUM_SEAMS)",
+                            )
+                    is_reducer = parts[-1] in self._REDUCERS and (
+                        len(parts) == 1 or parts[0] in ("np", "numpy", "math")
+                    )
+                    if (
+                        is_reducer
+                        and node.args
+                        and expr_unordered(fn, node.args[0], tainted, effects)
+                    ):
+                        yield self.finding_at(
+                            fn.path,
+                            node.args[0].lineno,
+                            node.args[0].col_offset,
+                            f"`{chain}` in parity-reachable `{qualname}` "
+                            f"reduces set-order-tainted data; the reduction "
+                            f"order must be canonical (sort first)",
+                        )
+                elif isinstance(node, ast.For):
+                    if not expr_unordered(fn, node.iter, tainted, effects):
+                        continue
+                    for sub in ast.walk(node):
+                        if isinstance(sub, ast.AugAssign) and isinstance(
+                            sub.op, (ast.Add, ast.Mult)
+                        ):
+                            yield self.finding_at(
+                                fn.path,
+                                sub.lineno,
+                                sub.col_offset,
+                                f"accumulation in `{qualname}` inside a loop "
+                                f"whose iteration order derives from a set; "
+                                f"parity-reachable accumulation must iterate "
+                                f"a canonical order (sorted(...))",
+                            )
+                            break
+
+
+#: The sanctioned dispatch seam between the exact float64 tier and the
+#: (future compiled) tolerance tier.  Only code in this module may
+#: call or reference ``tolerance[ulp=N]``-marked functions.
+KERNEL_TIER_SEAM = "repro/core/kernel_tier.py"
+
+
+class ToleranceBoundaryRule(ProgramRule):
+    """REP019 — the exact/tolerance kernel boundary crosses one seam.
+
+    The compiled-kernel roadmap item relaxes bit-for-bit parity to a
+    documented ULP budget *behind an explicit flag*.  Statically that
+    contract is: a function marked ``# repro: tolerance[ulp=N]`` may
+    only be called (or passed as a function reference) by other marked
+    functions or by the ``kernel_tier`` dispatch module; nothing in a
+    parity-kernel file may carry the marker; and a marker that fails
+    the strict grammar, or sits on no ``def``, is itself a finding —
+    a typo must not silently open the parity tier to a relaxed kernel.
+    Golden-fixture and parity-oracle entry points therefore cannot
+    reach tolerance-tier code except through the seam's explicit
+    ``tier=`` dispatch.
+    """
+
+    id = "REP019"
+    summary = "tolerance-tier function reached outside the kernel_tier dispatch seam"
+
+    def check_program(self, program: Program) -> Iterator[Finding]:
+        graph = program.graph
+        marked = program.tolerance_markers
+        for path, line, reason in program.tolerance_orphans:
+            yield self.finding_at(path, line, 0, reason)
+        for qualname in sorted(marked):
+            fn = graph.functions.get(qualname)
+            if fn is None:
+                continue
+            if module_path(fn.path) in PARITY_FILES:
+                yield self.finding_at(
+                    fn.path,
+                    fn.lineno,
+                    fn.node.col_offset,
+                    f"`{qualname}` declares tolerance[ulp="
+                    f"{marked[qualname]}] inside a parity-kernel file; the "
+                    f"exact float64 tier admits no tolerance — relaxed "
+                    f"kernels live behind the kernel_tier seam",
+                )
+        for qualname in sorted(graph.functions):
+            fn = graph.functions[qualname]
+            if qualname in marked or module_path(fn.path) == KERNEL_TIER_SEAM:
+                continue
+            for call_site in fn.calls:
+                if call_site.callee in marked:
+                    yield self.finding_at(
+                        fn.path,
+                        call_site.lineno,
+                        call_site.node.col_offset,
+                        f"`{qualname}` calls tolerance-tier "
+                        f"`{call_site.callee}` (ulp="
+                        f"{marked[call_site.callee]}) directly; only the "
+                        f"kernel_tier dispatch seam may cross the "
+                        f"exact/tolerance boundary",
+                    )
+            for ref in fn.refs:
+                if ref.target in marked:
+                    yield self.finding_at(
+                        fn.path,
+                        ref.lineno,
+                        ref.col,
+                        f"`{qualname}` hands a reference to tolerance-tier "
+                        f"`{ref.target}` across the boundary; route kernel "
+                        f"selection through kernel_tier's explicit "
+                        f"tier= dispatch",
+                    )
+
+
 ALL_RULES: Sequence[Rule] = (
     MutableDefaultRule(),
     BroadExceptRule(),
@@ -1571,6 +1868,9 @@ PROGRAM_RULES: Sequence[ProgramRule] = (
     PublishOnceRule(),
     QuotaRollbackRule(),
     PublishEventRule(),
+    NumericParityRule(),
+    ReductionOrderRule(),
+    ToleranceBoundaryRule(),
 )
 
 AUDIT_RULES: Sequence[Rule] = (UnusedSuppressionRule(),)

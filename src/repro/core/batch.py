@@ -81,7 +81,7 @@ def spectra_batch(
     and the ``(n_lights, n_bins)`` magnitude matrix.  Each row is
     bit-identical to ``spectrum(signals[i], dt)``.
     """
-    signals = np.ascontiguousarray(signals, dtype=float)
+    signals = np.ascontiguousarray(signals, dtype=np.float64)
     if signals.ndim != 2 or signals.shape[1] < 4:
         raise ValueError(
             f"signals must be (n_lights, n_seconds>=4), got {signals.shape}"
@@ -111,7 +111,7 @@ def fold_zscore_grid(
     preserves per-bin accumulation order; χ² row sums run over exactly
     the row's ``n_bins`` contiguous entries, never the padding).
     """
-    cycles = np.asarray(cycles, dtype=float)
+    cycles = np.asarray(cycles, dtype=np.float64)
     J = cycles.shape[0]
     out = np.full(J, -np.inf)
     if J == 0 or t.size < 4:
@@ -144,7 +144,7 @@ def fold_zscore_grid(
     chi2 = np.empty(J)
     for b in np.unique(nb):
         rows = np.flatnonzero(nb == b)
-        block = np.ascontiguousarray(contrib[rows][:, :b], dtype=float)
+        block = np.ascontiguousarray(contrib[rows][:, :b], dtype=np.float64)
         chi2[rows] = np.sum(block, axis=1) / var
     z = np.where(
         k >= 2,
@@ -154,10 +154,10 @@ def fold_zscore_grid(
 
     if ends is not None and end_weight > 0 and ends.shape[0] >= 5:
         n = ends.shape[0]
-        folded_e = np.mod(np.asarray(ends, dtype=float)[None, :], cycles[:, None])
+        folded_e = np.mod(np.asarray(ends, dtype=np.float64)[None, :], cycles[:, None])
         idx_e = np.minimum((folded_e / bin_s).astype(np.int64), (nb - 1)[:, None])
         flat_e = (idx_e + row).ravel()
-        counts_e = np.bincount(flat_e, minlength=J * NB).reshape(J, NB).astype(float)
+        counts_e = np.bincount(flat_e, minlength=J * NB).reshape(J, NB).astype(np.float64)
         lam = n / nb
         ze = (counts_e.max(axis=1) - lam) / np.sqrt(lam + 1e-9)
         z = np.where(np.isfinite(z), z + end_weight * ze, z)
@@ -217,14 +217,14 @@ def cycle_profile_batch(
     if L == 0:
         return []
     lengths = np.array([e[0].shape[0] for e in entries], dtype=np.int64)
-    cycles = np.array([float(e[2]) for e in entries], dtype=float)
-    anchors = np.array([float(e[3]) for e in entries], dtype=float)
+    cycles = np.array([float(e[2]) for e in entries], dtype=np.float64)
+    anchors = np.array([float(e[3]) for e in entries], dtype=np.float64)
     nbins = np.maximum(np.ceil(cycles / bin_s).astype(np.int64), 1)
     offsets = np.concatenate([[0], np.cumsum(nbins)])
 
-    t_all = np.concatenate([np.asarray(e[0], dtype=float) for e in entries]) \
+    t_all = np.concatenate([np.asarray(e[0], dtype=np.float64) for e in entries]) \
         if lengths.sum() else np.empty(0)
-    v_all = np.concatenate([np.asarray(e[1], dtype=float) for e in entries]) \
+    v_all = np.concatenate([np.asarray(e[1], dtype=np.float64) for e in entries]) \
         if lengths.sum() else np.empty(0)
     lid = np.repeat(np.arange(L), lengths)
     cyc = cycles[lid]
@@ -274,7 +274,7 @@ def circular_moving_average_batch(
         if not 1 <= w <= n:
             raise ValueError(f"window must be in [1, {n}], got {w}")
         if w == 1:
-            out[i] = p.astype(float)  # serial w==1 shortcut, same rounding
+            out[i] = p.astype(np.float64)  # serial w==1 shortcut, same rounding
         else:
             rows.append(i)
     if rows:
@@ -369,8 +369,12 @@ def _prepare_light(
             store.cache[grid_key] = hit
         _grid, sig = hit
 
+    # The store→kernel seam: everything the scoring passes feed into the
+    # parity kernels is pinned to float64 here.  Bit-exact no-ops on the
+    # store's float64 columns; REP017 proves nothing below float64 can
+    # slip through if a producer ever changes.
     return dict(
-        t=t, v=v, enhanced=enhanced,
+        t=t.astype(np.float64), v=v.astype(np.float64), enhanced=enhanced,
         stops=stops, stop_ends=stop_ends, sig=sig,
     )
 
@@ -431,8 +435,10 @@ def _score_light(
             )
         tel.count("samples_phase", int(t_ph.shape[0]))
 
+    # Same store→kernel seam as _prepare_light: the phase-window samples
+    # feed cycle_profile_batch, so their dtype is pinned at the boundary.
     st.update(cyc=cyc, cycle_s=cycle_s, red=red, red_s=red_s,
-              t_ph=t_ph, v_ph=v_ph)
+              t_ph=t_ph.astype(np.float64), v_ph=v_ph.astype(np.float64))
     return st
 
 

@@ -43,7 +43,7 @@ def circular_moving_average(profile: np.ndarray, window: int) -> np.ndarray:
     if not 1 <= window <= n:
         raise ValueError(f"window must be in [1, {n}], got {window}")
     if window == 1:
-        return profile.astype(float)
+        return profile.astype(np.float64)
     tiled = np.concatenate([profile, profile[: window - 1]])
     csum = np.concatenate([[0.0], np.cumsum(tiled)])
     return (csum[window:] - csum[:-window])[:n] / window
@@ -65,7 +65,7 @@ def stop_end_density(
     check_positive("cycle_s", cycle_s)
     check_positive("bandwidth_s", bandwidth_s)
     n_bins = max(int(np.ceil(cycle_s / bin_s)), 1)
-    grid = np.arange(n_bins, dtype=float) * bin_s
+    grid = np.arange(n_bins, dtype=np.float64) * bin_s
     if ends.size == 0:
         return np.zeros(n_bins)
     d = np.abs(ends[None, :] - grid[:, None])
@@ -124,7 +124,7 @@ def find_signal_change(
     ma = (
         circular_moving_average(profile, window)
         if moving_average is None
-        else np.asarray(moving_average, dtype=float)
+        else np.asarray(moving_average, dtype=np.float64)
     )
     if ma.shape != profile.shape:
         raise ValueError(

@@ -187,7 +187,7 @@ def stop_end_comb_zscore(
     folded = np.mod(ends, cycle_s)
     n_bins = max(int(np.ceil(cycle_s / bin_s)), 2)
     idx = np.minimum((folded / bin_s).astype(np.int64), n_bins - 1)
-    counts = np.bincount(idx, minlength=n_bins).astype(float)
+    counts = np.bincount(idx, minlength=n_bins).astype(np.float64)
     lam = n / n_bins
     return float((counts.max() - lam) / np.sqrt(lam + 1e-9))
 
@@ -290,7 +290,7 @@ def _select_cycle(
     candidates = order[:k]
     ends = None
     if stop_ends is not None and config.stop_end_weight > 0:
-        ends = np.asarray(stop_ends, dtype=float)
+        ends = np.asarray(stop_ends, dtype=np.float64)
     ew = config.stop_end_weight
     if telemetry is not None:
         telemetry.count("cycle_candidates_scanned", k)

@@ -67,11 +67,17 @@ def enhance_samples(
     v_perp = check_1d("v_perp", v_perp)
     if t_primary.shape != v_primary.shape or t_perp.shape != v_perp.shape:
         raise ValueError("time and value arrays must have matching lengths")
+    # Enhanced sample sets feed regularize and the fold kernels; every
+    # return pins float64 at this producer seam (astype copies like
+    # .copy() did, and is a bit-exact no-op on float64 trace columns).
     if t_perp.size == 0:
-        return t_primary.copy(), v_primary.copy()
+        return t_primary.astype(np.float64), v_primary.astype(np.float64)
     if t_primary.size == 0:
         mean_speed = float(v_perp.mean())
-        return t_perp.copy(), mirror_speeds(v_perp, mean_speed)
+        return (
+            t_perp.astype(np.float64),
+            np.asarray(mirror_speeds(v_perp, mean_speed), dtype=np.float64),
+        )
 
     # v̄: mean speed of the whole intersection (both directions pooled).
     mean_speed = float(np.concatenate([v_primary, v_perp]).mean())
@@ -83,7 +89,7 @@ def enhance_samples(
     t_extra = t_perp[free]
     v_extra = mirror_speeds(v_perp[free], mean_speed)
 
-    t_all = np.concatenate([t_primary, t_extra])
-    v_all = np.concatenate([v_primary, v_extra])
+    t_all = np.concatenate([t_primary, t_extra]).astype(np.float64)
+    v_all = np.concatenate([v_primary, v_extra]).astype(np.float64)
     order = np.argsort(t_all, kind="stable")
     return t_all[order], v_all[order]

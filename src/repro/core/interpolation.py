@@ -121,4 +121,7 @@ def regularize(
     nan = np.isnan(out)
     if nan.any():  # interior NaNs can only come from interp1d edge fuzz
         out[nan] = np.interp(grid[nan], bt, bv)
-    return grid, out
+    # Regularized signals feed the parity kernels (spectrum, fold
+    # scoring); pin the dtype at this producer seam.  asarray is a
+    # zero-copy no-op on the float64 the interpolators already return.
+    return grid, np.asarray(out, dtype=np.float64)

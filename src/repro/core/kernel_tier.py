@@ -1,0 +1,101 @@
+"""The sanctioned dispatch seam between kernel tiers.
+
+The identification kernels ship in two tiers:
+
+* **exact** — the pure-NumPy float64 kernels in the parity files
+  (``cycle``/``superposition``/``changepoint``/``batch``), pinned
+  bit-for-bit by the golden fixtures and the serial/batched/stream
+  parity suites.
+* **tolerance** — the (future) compiled tier: kernels marked with a
+  trailing ``# repro: tolerance[ulp=N]`` comment on their ``def``
+  line, declaring that their result may diverge from the exact kernel
+  by at most N units in the last place.  A compiled ``fold_zscore``
+  (Numba / C, fused multiply-adds, different summation tree) cannot
+  promise the exact tier's last bit — the marker makes the relaxation
+  explicit and machine-checkable.
+
+REP019 enforces the boundary statically: *only this module* may call
+or reference a tolerance-marked function, nothing inside a parity
+file may carry the marker, and unmarked code calling marked code
+anywhere else in the tree is a finding.  Callers opt into the relaxed
+tier solely through :func:`resolve_kernel`'s explicit ``tier=``
+argument — golden-fixture and parity-oracle entry points, which never
+pass it, therefore cannot reach tolerance-tier code on any path.
+
+The tolerance implementations below are placeholders that delegate to
+the exact kernels (a 0-ULP "relaxation"), so the seam, the marker
+grammar, and the REP019 gate are all exercised by the real tree
+before the first compiled kernel lands.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from .cycle import fold_zscore
+from .superposition import cycle_profile
+
+__all__ = ["EXACT_TIER", "TOLERANCE_TIER", "KERNEL_TIERS", "resolve_kernel"]
+
+#: Tier names accepted by :func:`resolve_kernel`.
+EXACT_TIER = "exact"
+TOLERANCE_TIER = "tolerance"
+KERNEL_TIERS: Tuple[str, str] = (EXACT_TIER, TOLERANCE_TIER)
+
+
+def _fold_zscore_tolerant(  # repro: tolerance[ulp=2]
+    t: np.ndarray, v: np.ndarray, cycle_s: float, bin_s: float = 4.0
+) -> float:
+    """Tolerance-tier epoch-folding score (compiled-kernel slot).
+
+    Declared budget: 2 ULP against :func:`repro.core.cycle.fold_zscore`
+    — the headroom a fused-multiply-add variance accumulation needs.
+    Delegates to the exact kernel until the compiled version lands.
+    """
+    return fold_zscore(t, v, cycle_s, bin_s)
+
+
+def _cycle_profile_tolerant(  # repro: tolerance[ulp=1]
+    t: np.ndarray, v: np.ndarray, cycle_s: float, anchor: float
+) -> np.ndarray:
+    """Tolerance-tier superposition profile (compiled-kernel slot).
+
+    Declared budget: 1 ULP against
+    :func:`repro.core.superposition.cycle_profile` (a reassociated
+    bincount sum).  Delegates to the exact kernel until then.
+    """
+    return cycle_profile(t, v, cycle_s, anchor)
+
+
+#: kernel name -> tier -> implementation.  The exact column is the
+#: parity-pinned implementation; the tolerance column is the relaxed
+#: slot the compiled tier fills in.
+_KERNELS: Dict[str, Dict[str, Callable[..., object]]] = {
+    "fold_zscore": {
+        EXACT_TIER: fold_zscore,
+        TOLERANCE_TIER: _fold_zscore_tolerant,
+    },
+    "cycle_profile": {
+        EXACT_TIER: cycle_profile,
+        TOLERANCE_TIER: _cycle_profile_tolerant,
+    },
+}
+
+
+def resolve_kernel(name: str, *, tier: str = EXACT_TIER) -> Callable[..., object]:
+    """Return the *name* kernel implementation for *tier*.
+
+    The default is always the exact float64 tier; relaxed kernels are
+    reached only by passing ``tier="tolerance"`` explicitly, which is
+    the "explicit flag" of the ROADMAP's compiled-kernel item.  Parity
+    suites and golden fixtures never pass it, so their call chains
+    stay inside the exact tier — statically guaranteed by REP019.
+    """
+    if tier not in KERNEL_TIERS:
+        raise ValueError(f"unknown kernel tier {tier!r}; expected one of {KERNEL_TIERS}")
+    try:
+        return _KERNELS[name][tier]
+    except KeyError:
+        raise KeyError(f"unknown kernel {name!r}; known: {sorted(_KERNELS)}") from None

@@ -75,9 +75,9 @@ class MonitorSeries:
         :func:`detect_plan_changes` consume.  A failed refresh should be
         recorded as a NaN cycle so gaps stay visible.
         """
-        ta = np.asarray(t, dtype=float)
-        ca = np.asarray(cycle_s, dtype=float)
-        qa = np.asarray(quality, dtype=float)
+        ta = np.asarray(t, dtype=np.float64)
+        ca = np.asarray(cycle_s, dtype=np.float64)
+        qa = np.asarray(quality, dtype=np.float64)
         if not (ta.shape == ca.shape == qa.shape) or ta.ndim != 1:
             raise ValueError(
                 f"t/cycle_s/quality must be equal-length 1-D, got shapes "

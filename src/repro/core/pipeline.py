@@ -138,7 +138,13 @@ def _window_samples(
         & (partition.trace.t < t1)
         & (partition.dist_to_stopline_m <= max_dist_m)
     )
-    return partition.trace.t[keep], partition.trace.speed_kmh[keep]
+    # Trace→kernel seam: the windowed samples flow straight into the
+    # parity kernels, so their dtype is pinned here (zero-copy on the
+    # trace's float64 columns; REP017 proves the chain stays float64).
+    return (
+        np.asarray(partition.trace.t[keep], dtype=np.float64),
+        np.asarray(partition.trace.speed_kmh[keep], dtype=np.float64),
+    )
 
 
 def identify_light(

@@ -145,9 +145,9 @@ def extract_stops(
     cols = list(zip(*rows))
     return StopEvents(
         taxi_id=np.asarray(cols[0], dtype=np.int64),
-        t_start=np.asarray(cols[1], dtype=float),
-        t_end=np.asarray(cols[2], dtype=float),
+        t_start=np.asarray(cols[1], dtype=np.float64),
+        t_end=np.asarray(cols[2], dtype=np.float64),
         passenger_changed=np.asarray(cols[3], dtype=bool),
-        dist_to_stopline_m=np.asarray(cols[4], dtype=float),
+        dist_to_stopline_m=np.asarray(cols[4], dtype=np.float64),
         n_records=np.asarray(cols[5], dtype=np.int64),
     )

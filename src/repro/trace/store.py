@@ -595,7 +595,7 @@ def _partition_columns(part: "LightPartition") -> Dict[str, np.ndarray]:
         name: np.asarray(getattr(part.trace, name)) for name in TraceArrays.COLUMNS
     }
     out["segment_id"] = np.asarray(part.segment_id)
-    out["dist_to_stopline_m"] = np.asarray(part.dist_to_stopline_m, dtype=float)
+    out["dist_to_stopline_m"] = np.asarray(part.dist_to_stopline_m, dtype=np.float64)
     return out
 
 
@@ -614,8 +614,8 @@ def _merge_partitions(
         ),
         dist_to_stopline_m=np.concatenate(
             [
-                np.asarray(base.dist_to_stopline_m, dtype=float),
-                np.asarray(fresh.dist_to_stopline_m, dtype=float),
+                np.asarray(base.dist_to_stopline_m, dtype=np.float64),
+                np.asarray(fresh.dist_to_stopline_m, dtype=np.float64),
             ]
         ),
     )

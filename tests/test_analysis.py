@@ -200,9 +200,38 @@ class TestRep005:
         src = (
             "import numpy as np\n\n"
             "def f(x):\n"
-            "    return np.asarray(x, dtype=float) + np.asarray(x, float)\n"
+            "    return np.asarray(x, dtype=np.float64) + np.asarray(x, np.float64)\n"
         )
         assert lint_source(src, PARITY) == []
+
+    def test_builtin_float_dtype_ambiguous(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f(x):\n"
+            "    return np.asarray(x, dtype=float) + np.asarray(x, float)\n"
+        )
+        findings = lint_source(src, PARITY)
+        assert rules_of(findings) == ["REP005", "REP005"]
+        assert all("ambiguous" in f.message for f in findings)
+
+    def test_string_f_dtype_fires(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f(x):\n"
+            '    return np.asarray(x, dtype="f")\n'
+        )
+        findings = lint_source(src, PARITY)
+        assert "REP005" in rules_of(findings)
+        assert any("downcasts below float64" in f.message for f in findings)
+
+    def test_astype_builtin_float_fires(self):
+        src = (
+            "import numpy as np\n\n"
+            "def f(x):\n"
+            "    return np.asarray(x, dtype=np.float64).astype(float)\n"
+        )
+        findings = lint_source(src, PARITY)
+        assert "REP005" in rules_of(findings)
 
     def test_non_parity_file_out_of_scope(self):
         src = "import numpy as np\nx = np.zeros(3, dtype=np.float32)\n"

@@ -1003,6 +1003,36 @@ class TestDiff:
         assert code == 1
         assert "new_mod.py" in out
 
+    def test_diff_follows_renames(self, repo, capsys):
+        """A rename + one-line edit must only flag the edited lines.
+
+        With rename detection off, git reports the rename as a full
+        delete + add and the pre-existing ``stale`` finding resurfaces;
+        ``--find-renames`` is forced on even when the repository
+        disables detection via ``diff.renames``.
+        """
+        subprocess.run(
+            ["git", "config", "diff.renames", "false"], check=True
+        )
+        base = (repo / "pkg/mod.py").read_text(encoding="utf-8")
+        (repo / "pkg/mod.py").unlink()
+        edited = base + _src(
+            """
+            def fresh(ys=[]):
+                return ys
+            """
+        )
+        (repo / "pkg/renamed_mod.py").write_text(edited, encoding="utf-8")
+        subprocess.run(["git", "add", "-A"], check=True)
+        code = main(["pkg", "--diff", "HEAD", "-q"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "renamed_mod.py" in out
+        # the untouched `stale` default-arg finding moved with the file
+        # and must stay filtered; only `fresh` is new
+        assert out.count("REP001") == 1
+        assert "fresh" in out or "ys" in out
+
 
 # ----------------------------------------------------------------------
 # Real tree: empty baseline
@@ -1037,4 +1067,7 @@ class TestBaseline:
             "REP014",
             "REP015",
             "REP016",
+            "REP017",
+            "REP018",
+            "REP019",
         ]

@@ -1,0 +1,229 @@
+"""Lattice-law property tests for :mod:`repro.analysis.numeric`.
+
+The REP017 fixpoint terminates because (a) ``join`` is a least upper
+bound on a finite-height lattice and (b) the transfer functions are
+monotone, so summaries can only climb a bounded number of times.  These
+tests pin both halves: the algebraic laws over an exhaustive pool of
+scalar and structured values, and termination on adversarial
+mutually-recursive trees driven through the real ``build_program``.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+
+import pytest
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.effects import build_program
+from repro.analysis.numeric import (
+    AMBIGUOUS,
+    EXACT,
+    LEVELS,
+    SUB,
+    UNKNOWN,
+    DictVal,
+    ListVal,
+    TupleVal,
+    _sig,
+    build_numeric,
+    clone,
+    dtype_level,
+    join,
+    leq,
+    worst,
+)
+
+SCALARS = (None,) + LEVELS
+
+
+def _value_pool():
+    """Scalars plus one structured value of each shape at each level."""
+    pool = list(SCALARS)
+    for lvl in (None, EXACT, SUB, UNKNOWN):
+        pool.append(TupleVal([lvl, EXACT]))
+        pool.append(ListVal(lvl))
+        pool.append(DictVal({"t": lvl, "v": EXACT}, None))
+    pool.append(TupleVal([TupleVal([SUB, None]), ListVal(EXACT)]))
+    pool.append(DictVal({}, UNKNOWN))
+    return pool
+
+
+POOL = _value_pool()
+
+
+class TestJoinLaws:
+    @pytest.mark.parametrize("a", POOL, ids=str)
+    def test_idempotent(self, a):
+        assert _sig(join(clone(a), clone(a))) == _sig(a)
+
+    def test_commutative(self):
+        for a, b in itertools.product(POOL, repeat=2):
+            assert _sig(join(clone(a), clone(b))) == _sig(join(clone(b), clone(a)))
+
+    def test_associative(self):
+        # scalars exhaustively; structured values on a reduced pool to
+        # keep the cube tractable
+        small = list(SCALARS) + [
+            TupleVal([SUB, EXACT]),
+            ListVal(UNKNOWN),
+            DictVal({"t": EXACT}, None),
+        ]
+        for a, b, c in itertools.product(small, repeat=3):
+            lhs = join(join(clone(a), clone(b)), clone(c))
+            rhs = join(clone(a), join(clone(b), clone(c)))
+            assert _sig(lhs) == _sig(rhs)
+
+    def test_none_is_bottom(self):
+        for a in POOL:
+            assert _sig(join(None, clone(a))) == _sig(a)
+            assert _sig(join(clone(a), None)) == _sig(a)
+
+    def test_join_is_upper_bound(self):
+        for a, b in itertools.product(POOL, repeat=2):
+            j = join(clone(a), clone(b))
+            assert leq(a, j)
+            assert leq(b, j)
+
+    def test_join_monotone(self):
+        """a ⊑ b  ⇒  join(a, c) ⊑ join(b, c) for every c."""
+        for a, b in itertools.product(POOL, repeat=2):
+            if not leq(a, b):
+                continue
+            for c in POOL:
+                assert leq(join(clone(a), clone(c)), join(clone(b), clone(c)))
+
+    def test_leq_is_a_partial_order_on_scalars(self):
+        for a, b in itertools.product(SCALARS, repeat=2):
+            if leq(a, b) and leq(b, a):
+                assert _sig(a) == _sig(b)
+        for a, b, c in itertools.product(SCALARS, repeat=3):
+            if leq(a, b) and leq(b, c):
+                assert leq(a, c)
+
+    def test_worst_bounds_every_component(self):
+        v = TupleVal([EXACT, DictVal({"x": SUB}, None), ListVal(AMBIGUOUS)])
+        assert worst(v) == SUB
+        assert worst(None) is None
+        assert worst(ListVal(None)) is None
+
+    def test_clone_is_deep(self):
+        v = DictVal({"t": TupleVal([EXACT, SUB])}, None)
+        c = clone(v)
+        assert _sig(c) == _sig(v)
+        c.entries["t"].elements[0] = UNKNOWN
+        assert worst(v.entries["t"]) == SUB  # original untouched
+
+
+class TestDtypeLevel:
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            ("np.float64", EXACT),
+            ("np.float32", SUB),
+            ("np.float16", SUB),
+            ("np.int64", EXACT),
+            ("float", AMBIGUOUS),
+            ("int", EXACT),
+            ("'float64'", EXACT),
+            ("'f8'", EXACT),
+            ("'<f8'", EXACT),
+            ("'f4'", SUB),
+            ("'f'", SUB),
+            ("'float'", AMBIGUOUS),
+            ("'complex64'", UNKNOWN),  # unmodeled spelling stays unproven
+            ("some.weird.thing", UNKNOWN),
+        ],
+    )
+    def test_classification(self, expr, expected):
+        node = ast.parse(expr, mode="eval").body
+        assert dtype_level(node) == expected
+
+
+def _graph(files):
+    return build_callgraph([(path, src) for path, src in files])
+
+
+class TestTransferMonotone:
+    """Passing a worse argument can only raise what the callee returns."""
+
+    TEMPLATE = (
+        "import numpy as np\n\n"
+        "def produce(x) -> np.ndarray:\n"
+        "    return np.asarray(x, dtype={dtype})\n\n"
+        "def relay(x) -> np.ndarray:\n"
+        "    y = produce(x)\n"
+        "    return y * 2.0\n"
+    )
+
+    def _relay_level(self, dtype: str):
+        src = self.TEMPLATE.format(dtype=dtype)
+        analysis = build_numeric(_graph([("src/repro/eval/driver.py", src)]))
+        return worst(analysis.summaries["repro.eval.driver.relay"].returns)
+
+    def test_worse_input_never_lowers_output(self):
+        lvls = [self._relay_level(d) for d in ("np.float64", "float", "np.float32")]
+        assert lvls == sorted(lvls)
+        assert lvls[0] == EXACT and lvls[-1] == SUB
+
+
+class TestFixpointTermination:
+    def test_mutual_recursion_converges(self):
+        src = (
+            "import numpy as np\n\n"
+            "def ping(x) -> np.ndarray:\n"
+            "    if x.size > 1:\n"
+            "        return pong(x[1:])\n"
+            "    return np.asarray(x, dtype=np.float32)\n\n"
+            "def pong(x) -> np.ndarray:\n"
+            "    if x.size > 1:\n"
+            "        return ping(x[1:])\n"
+            "    return np.asarray(x, dtype=np.float64)\n"
+        )
+        analysis = build_numeric(_graph([("src/repro/eval/driver.py", src)]))
+        ping = analysis.summaries["repro.eval.driver.ping"]
+        pong = analysis.summaries["repro.eval.driver.pong"]
+        # both see both terminal dtypes through the cycle: join is SUB
+        assert worst(ping.returns) == SUB
+        assert worst(pong.returns) == SUB
+
+    def test_self_recursion_through_containers_converges(self):
+        src = (
+            "import numpy as np\n\n"
+            "def spin(state) -> np.ndarray:\n"
+            "    nxt = dict(t=state['t'], extra=(state['t'], state['t']))\n"
+            "    if state['t'].size:\n"
+            "        return spin(nxt)\n"
+            "    return np.asarray(state['t'], dtype=np.float64)\n"
+        )
+        analysis = build_numeric(_graph([("src/repro/eval/driver.py", src)]))
+        assert "repro.eval.driver.spin" in analysis.summaries
+
+    def test_adversarial_tree_through_build_program(self):
+        """Full ``build_program`` (effects + numeric) on a cyclic tree."""
+        files = [
+            (
+                "src/repro/eval/a.py",
+                "import numpy as np\n"
+                "from repro.eval.b import beta\n\n"
+                "def alpha(x) -> np.ndarray:\n"
+                "    return beta(np.asarray(x, dtype=np.float32))\n",
+            ),
+            (
+                "src/repro/eval/b.py",
+                "import numpy as np\n"
+                "from repro.eval.a import alpha\n\n"
+                "def beta(x) -> np.ndarray:\n"
+                "    if x.size > 2:\n"
+                "        return alpha(x[1:])\n"
+                "    return np.asarray(x, dtype=np.float64)\n",
+            ),
+        ]
+        program = build_program(files)
+        beta = program.numeric.summaries["repro.eval.b.beta"]
+        assert worst(beta.params["x"]) == SUB
+        # every path bottoms out in the float64 blessing, and the
+        # two-phase fixpoint resolves the cycle precisely instead of
+        # freezing the pending-callee transient at UNKNOWN
+        assert worst(beta.returns) == EXACT
